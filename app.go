@@ -1,0 +1,109 @@
+package ceio
+
+import (
+	"io"
+
+	"ceio/internal/dfs"
+	"ceio/internal/kv"
+	"ceio/internal/rpc"
+	"ceio/internal/scenario"
+	"ceio/internal/trace"
+)
+
+// This file exposes the application layer that runs over the simulated
+// datapath: the eRPC-style RPC server, the sharded key-value store, and
+// the LineFS-style DFS chunk server. These execute real Go code for
+// every packet the simulation delivers; only their CPU *time* on the
+// simulated cores comes from the workload cost model.
+
+// KVStore is the sharded in-memory key-value store of the eRPC workload.
+type KVStore = kv.Store
+
+// NewKVStore creates an empty store.
+func NewKVStore() *KVStore { return kv.NewStore() }
+
+// RPC types.
+type (
+	// RPCRequest is one KV request (get or put).
+	RPCRequest = rpc.Request
+	// RPCResponse is the server's reply.
+	RPCResponse = rpc.Response
+	// RPCServer dispatches delivered packets to a handler.
+	RPCServer = rpc.Server
+)
+
+// RPC operations.
+const (
+	OpGet = rpc.OpGet
+	OpPut = rpc.OpPut
+)
+
+// NewKVRPCServer builds an RPC server backed by store, using the paper's
+// request mix (1:1 get/put, 16B keys, 64B values over n entries).
+func NewKVRPCServer(store *KVStore, entries int) *RPCServer {
+	if entries <= 0 {
+		entries = 1000
+	}
+	return rpc.NewServer(func(r *RPCRequest) RPCResponse {
+		switch r.Op {
+		case rpc.OpGet:
+			v, ok := store.Get(r.Key)
+			return RPCResponse{ID: r.ID, OK: ok, Value: v}
+		default:
+			store.Put(r.Key, r.Value)
+			return RPCResponse{ID: r.ID, OK: true}
+		}
+	}, rpc.GenKV(entries, 16, 64))
+}
+
+// BindRPC attaches an RPC server to the simulator: every delivered
+// CPU-involved packet becomes a request dispatch.
+func (s *Simulator) BindRPC(server *RPCServer) { server.Bind(s.m) }
+
+// Scenario is a declarative JSON experiment specification (architecture,
+// flows with start/stop times, measurement windows); ScenarioResult its
+// JSON-serialisable outcome.
+type (
+	Scenario       = scenario.Spec
+	ScenarioResult = scenario.Result
+)
+
+// LoadScenario parses a JSON scenario; run it with its Run method.
+func LoadScenario(r io.Reader) (*Scenario, error) { return scenario.Load(r) }
+
+// Tracer records per-packet datapath events (arrival, path verdicts, DMA
+// completion, delivery) into a bounded ring for diagnostics.
+type Tracer = trace.Tracer
+
+// EnableTracing attaches a tracer retaining up to capacity events and
+// returns it.
+func (s *Simulator) EnableTracing(capacity int) *Tracer {
+	t := trace.New(capacity)
+	s.m.Tracer = t
+	return t
+}
+
+// DFSServer is the LineFS-style chunk-write server.
+type DFSServer = dfs.Server
+
+// NewDFSServer creates an empty DFS server.
+func NewDFSServer() *DFSServer { return dfs.NewServer() }
+
+// BindDFS attaches a DFS server: every delivered CPU-bypass packet from
+// flow id is treated as the next sequential chunk of the named file.
+func (s *Simulator) BindDFS(server *DFSServer, flowID int, file string) {
+	prev := s.m.OnDeliver
+	s.m.OnDeliver = func(f *Flow, p *Packet) {
+		if prev != nil {
+			prev(f, p)
+		}
+		if f.ID != flowID || f.Kind != CPUBypass {
+			return
+		}
+		offset := int64(p.Seq) * int64(p.Size)
+		if fl := server.File(file); fl != nil && fl.Size > 0 && offset+int64(p.Size) > fl.Size {
+			return // past the declared file size (generator keeps running)
+		}
+		server.WriteChunk(file, offset, int64(p.Size)) //nolint:errcheck // bounded above
+	}
+}

@@ -1,0 +1,63 @@
+package ceio_test
+
+import (
+	"testing"
+
+	"ceio"
+)
+
+func TestBindRPCExecutesStore(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	store := ceio.NewKVStore()
+	store.Populate(1000, 16, 64)
+	srv := ceio.NewKVRPCServer(store, 1000)
+	sim.BindRPC(srv)
+	sim.AddFlow(ceio.KVFlow(1, 144))
+	sim.RunFor(2 * ceio.Millisecond)
+	if srv.Requests == 0 || srv.Failures != 0 {
+		t.Fatalf("requests=%d failures=%d", srv.Requests, srv.Failures)
+	}
+	if store.Gets == 0 || store.Puts == 0 {
+		t.Fatalf("store untouched: %d gets %d puts", store.Gets, store.Puts)
+	}
+	// All gets hit: the generator draws from the populated keyspace.
+	if store.GetMisses != 0 {
+		t.Fatalf("unexpected get misses: %d", store.GetMisses)
+	}
+}
+
+func TestBindDFSReassemblesFile(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	srv := ceio.NewDFSServer()
+	const size = 1 << 20 // 1 MB file of 1KB chunks
+	if _, err := srv.Create("f", size, 2); err != nil {
+		t.Fatal(err)
+	}
+	sim.BindDFS(srv, 1, "f")
+	sim.AddFlow(ceio.FileTransferFlow(1, 1024, 64))
+	sim.RunFor(3 * ceio.Millisecond)
+	f := srv.File("f")
+	if f == nil || !f.Complete() {
+		t.Fatalf("file not complete: received %d of %d", f.Received(), int64(size))
+	}
+	if srv.Chunks == 0 || srv.Duplicates != 0 {
+		t.Fatalf("chunks=%d dups=%d", srv.Chunks, srv.Duplicates)
+	}
+}
+
+func TestBindChainsObservers(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	seen := 0
+	sim.OnDeliver(func(f *ceio.Flow, p *ceio.Packet) { seen++ })
+	store := ceio.NewKVStore()
+	srv := ceio.NewKVRPCServer(store, 100)
+	sim.BindRPC(srv) // must chain, not replace, the observer
+	sim.AddFlow(ceio.KVFlow(1, 144))
+	sim.RunFor(1 * ceio.Millisecond)
+	if seen == 0 {
+		t.Fatal("original observer lost after BindRPC")
+	}
+	if uint64(seen) != srv.Requests {
+		t.Fatalf("observer saw %d, server dispatched %d", seen, srv.Requests)
+	}
+}

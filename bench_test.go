@@ -1,0 +1,223 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (run via `go test -bench=. -benchmem`), plus
+// micro-benchmarks of the core data structures. The macro benchmarks use
+// the quick experiment configuration; `cmd/ceio-bench` (without -quick)
+// produces the full-length numbers recorded in EXPERIMENTS.md.
+package ceio_test
+
+import (
+	"testing"
+
+	"ceio"
+	"ceio/internal/cache"
+	"ceio/internal/core"
+	"ceio/internal/experiments"
+	"ceio/internal/pkt"
+	"ceio/internal/ring"
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+// --- Macro benchmarks: one per paper table/figure -----------------------
+
+func benchTables(b *testing.B, run func(experiments.Config) int) {
+	b.ReportAllocs()
+	cfg := experiments.QuickConfig()
+	for i := 0; i < b.N; i++ {
+		if n := run(cfg); n == 0 {
+			b.Fatal("experiment produced no output")
+		}
+	}
+}
+
+// BenchmarkFig4DynamicFlows regenerates Figure 4a (motivation: dynamic
+// flow distribution degradation of HostCC/ShRing).
+func BenchmarkFig4DynamicFlows(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig4(c)[0].Rows) })
+}
+
+// BenchmarkFig4Burst regenerates Figure 4b (motivation: network burst).
+func BenchmarkFig4Burst(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig4(c)[1].Rows) })
+}
+
+// BenchmarkFig9PacketSize regenerates Figure 9 (throughput and LLC miss
+// rate vs packet size for eRPC(DPDK), eRPC(RDMA), LineFS).
+func BenchmarkFig9PacketSize(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig9(c)) })
+}
+
+// BenchmarkFig10Dynamic regenerates Figure 10 (end-to-end dynamic
+// scenarios including CEIO).
+func BenchmarkFig10Dynamic(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig10(c)) })
+}
+
+// BenchmarkFig11Paths regenerates Figure 11 (fast vs slow path vs
+// ib_write_bw across message sizes).
+func BenchmarkFig11Paths(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig11(c).Rows) })
+}
+
+// BenchmarkFig12FlowScale regenerates Figure 12 (aggregate throughput vs
+// thousands of flows under destination rotation).
+func BenchmarkFig12FlowScale(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Fig12(c).Rows) })
+}
+
+// BenchmarkTable2Latency regenerates Table 2 (P99/P99.9 of the 512B echo
+// workload across stacks and methods).
+func BenchmarkTable2Latency(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Table2(c).Rows) })
+}
+
+// BenchmarkTable3PathLatency regenerates Table 3 (unloaded fast/slow path
+// latency vs raw RDMA write).
+func BenchmarkTable3PathLatency(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Table3(c).Rows) })
+}
+
+// BenchmarkTable4Mixed regenerates Table 4 (mixed CPU-involved/CPU-bypass
+// ratios, CEIO with and without optimisations).
+func BenchmarkTable4Mixed(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Table4(c).Rows) })
+}
+
+// BenchmarkLimitsLowPressure regenerates §6.3's low-memory-pressure
+// scenario (64B VxLAN; all methods alike).
+func BenchmarkLimitsLowPressure(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Limits(c)[0].Rows) })
+}
+
+// BenchmarkLimitsJumbo regenerates §6.3's jumbo-frame scenario (baseline
+// reaches line rate despite misses).
+func BenchmarkLimitsJumbo(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Limits(c)[1].Rows) })
+}
+
+// BenchmarkAblationDesignChoices runs the lazy-release / async-drain /
+// reallocation / MPQ ablations DESIGN.md calls out.
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Ablation(c).Rows) })
+}
+
+// BenchmarkSlowPathSubstrate runs the future-work slow-path substrate
+// ablation (on-NIC DRAM vs SRAM, §6.4).
+func BenchmarkSlowPathSubstrate(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.SlowPathAblation(c).Rows) })
+}
+
+// BenchmarkBurstSensitivity runs the on/off incast extension of Fig. 10b.
+func BenchmarkBurstSensitivity(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int { return len(experiments.Burstiness(c).Rows) })
+}
+
+// --- Simulator throughput benchmarks ------------------------------------
+
+// BenchmarkSimulatedPacketRate measures how many simulated packets per
+// wall-clock second the full CEIO machine sustains (the simulator's own
+// performance, not the modelled system's).
+func BenchmarkSimulatedPacketRate(b *testing.B) {
+	b.ReportAllocs()
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	for i := 1; i <= 4; i++ {
+		sim.AddFlow(ceio.KVFlow(i, 256))
+	}
+	before := sim.Snapshot().DeliveredPkts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunFor(100 * ceio.Microsecond)
+	}
+	b.StopTimer()
+	delivered := sim.Snapshot().DeliveredPkts - before
+	b.ReportMetric(float64(delivered)/float64(b.N), "pkts/op")
+}
+
+// --- Micro benchmarks of the core data structures ------------------------
+
+func BenchmarkEngineScheduling(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(sim.Time(i%64), fn)
+		eng.Step()
+	}
+}
+
+func BenchmarkLLCInsertConsume(b *testing.B) {
+	b.ReportAllocs()
+	llc := cache.NewLLC(6 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := cache.BufID(i)
+		llc.InsertIO(id, 2048)
+		if i >= 16 {
+			llc.Consume(cache.BufID(i - 16))
+		}
+	}
+}
+
+func BenchmarkHWRingPostPop(b *testing.B) {
+	b.ReportAllocs()
+	r := ring.NewHWRing(1024)
+	p := &pkt.Packet{Size: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Post(p)
+		r.Pop()
+	}
+}
+
+func BenchmarkSWRingMixedPath(b *testing.B) {
+	b.ReportAllocs()
+	r := ring.NewSWRing(1024)
+	p := &pkt.Packet{Size: 64}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%4 == 0 {
+			idx, _ := r.PushSlow(p)
+			r.MarkReady(idx)
+		} else {
+			r.PushFast(p)
+		}
+		r.PopReady()
+	}
+}
+
+func BenchmarkCreditConsumeRelease(b *testing.B) {
+	b.ReportAllocs()
+	ctrl := core.NewCreditController(3072)
+	ctrl.AddFlows(1, 2, 3, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i%4 + 1
+		if ctrl.Consume(id) {
+			ctrl.Release(id, 1)
+		}
+	}
+}
+
+func BenchmarkCreditAlgorithm1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctrl := core.NewCreditController(3072)
+		ids := make([]int, 64)
+		for j := range ids {
+			ids[j] = j + 1
+		}
+		ctrl.AddFlows(ids...)
+		ctrl.AddFlows(1000)
+	}
+}
+
+func BenchmarkDCTCPFeedback(b *testing.B) {
+	b.ReportAllocs()
+	m := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchBaseline).Machine()
+	f := m.AddFlow(workload.ERPCKV(1, 144, workload.DPDK))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CC.OnAck(i%64 == 0)
+	}
+}

@@ -1,0 +1,198 @@
+// Package ceio is a faithful, simulation-backed reproduction of CEIO
+// (SIGCOMM 2025): a cache-efficient network I/O architecture for NIC-CPU
+// data paths. It implements CEIO's NIC-resident I/O manager — proactive,
+// credit-based flow control (Algorithm 1) plus elastic on-NIC buffering
+// with an order-preserving software ring and asynchronous slow-path DMA —
+// together with the complete substrate it runs on (a DDIO-modelled LLC,
+// DRAM and memory-controller contention, PCIe DMA with TLP framing and
+// bounded credits, an RMT-style steering engine, DCTCP congestion
+// control, and per-core polling drivers) and the three comparison
+// architectures of the paper's evaluation: the unmanaged DDIO baseline,
+// HostCC's reactive host congestion control, and ShRing's fixed shared
+// receive ring.
+//
+// The package exposes a small façade over the internal packages:
+//
+//	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+//	sim.AddFlow(ceio.KVFlow(1, 144))
+//	sim.RunFor(20 * ceio.Millisecond)
+//	fmt.Println(sim.Snapshot())
+//
+// Everything is deterministic for a fixed Config.Seed. See DESIGN.md for
+// the modelling rationale and EXPERIMENTS.md for the paper-vs-measured
+// record of every reproduced table and figure.
+package ceio
+
+import (
+	"fmt"
+
+	"ceio/internal/core"
+	"ceio/internal/iosys"
+	"ceio/internal/pkt"
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+// Duration is simulated time in nanoseconds.
+type Duration = sim.Time
+
+// Convenient duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Config holds every parameter of the simulated machine: link speed,
+// LLC/DDIO geometry, PCIe, on-NIC memory, CPU cost model, and congestion
+// control. See DefaultConfig for the paper-calibrated values.
+type Config = iosys.Config
+
+// FlowSpec declares a network flow (kind, packet size, message size,
+// CPU cost model).
+type FlowSpec = iosys.FlowSpec
+
+// Flow is the runtime state and metrics of an added flow.
+type Flow = iosys.Flow
+
+// CostModel describes per-packet application work for CPU-involved flows.
+type CostModel = iosys.CostModel
+
+// Packet is the descriptor visible to delivery observers.
+type Packet = pkt.Packet
+
+// Flow kinds (the paper's two accelerated flow classes, §2.1).
+const (
+	CPUInvolved = iosys.CPUInvolved // NIC -> LLC -> CPU (RPC, NFV, DB)
+	CPUBypass   = iosys.CPUBypass   // NIC -> LLC -> DRAM (DFS, bulk RDMA)
+)
+
+// CEIOOptions tune the CEIO datapath (credit pool, read-ahead, lazy
+// release, and the ablation switches of Table 4).
+type CEIOOptions = core.Options
+
+// DefaultCEIOOptions returns the paper-faithful CEIO configuration.
+func DefaultCEIOOptions() CEIOOptions { return core.DefaultOptions() }
+
+// DefaultConfig returns the testbed configuration of §2.3/§6.1:
+// 200 Gbps links, 6 MB of LLC for DDIO, 2 KB I/O buffers, PCIe 5.0 x16,
+// BlueField-3-class on-NIC memory.
+func DefaultConfig() Config { return iosys.DefaultConfig() }
+
+// Architecture selects the I/O datapath under test.
+type Architecture string
+
+// The four architectures of the paper's evaluation.
+const (
+	ArchBaseline Architecture = Architecture(workload.MethodBaseline)
+	ArchHostCC   Architecture = Architecture(workload.MethodHostCC)
+	ArchShRing   Architecture = Architecture(workload.MethodShRing)
+	ArchCEIO     Architecture = Architecture(workload.MethodCEIO)
+)
+
+// Simulator drives one simulated receiver host.
+type Simulator struct {
+	m  *iosys.Machine
+	dp iosys.Datapath
+}
+
+// NewSimulator builds a machine running the given architecture.
+func NewSimulator(cfg Config, arch Architecture) *Simulator {
+	dp := workload.NewDatapath(workload.Method(arch))
+	return &Simulator{m: iosys.NewMachine(cfg, dp), dp: dp}
+}
+
+// NewCEIOSimulator builds a machine running CEIO with explicit options
+// (ablations, forced slow path, custom credit pools).
+func NewCEIOSimulator(cfg Config, opts CEIOOptions) *Simulator {
+	dp := core.New(opts)
+	return &Simulator{m: iosys.NewMachine(cfg, dp), dp: dp}
+}
+
+// Machine exposes the underlying machine for advanced inspection
+// (LLC counters, PCIe utilisation, steering table).
+func (s *Simulator) Machine() *iosys.Machine { return s.m }
+
+// CEIO returns the CEIO datapath when this simulator runs one, else nil.
+func (s *Simulator) CEIO() *core.CEIO {
+	if c, ok := s.dp.(*core.CEIO); ok {
+		return c
+	}
+	return nil
+}
+
+// AddFlow establishes a flow and returns its runtime handle.
+func (s *Simulator) AddFlow(spec FlowSpec) *Flow { return s.m.AddFlow(spec) }
+
+// RemoveFlow tears a flow down (in-flight packets drain).
+func (s *Simulator) RemoveFlow(id int) { s.m.RemoveFlow(id) }
+
+// PauseFlow and ResumeFlow gate a flow's generator without teardown.
+func (s *Simulator) PauseFlow(id int)  { s.m.PauseFlow(id) }
+func (s *Simulator) ResumeFlow(id int) { s.m.ResumeFlow(id) }
+
+// OnDeliver registers an observer invoked for every packet handed to the
+// application layer.
+func (s *Simulator) OnDeliver(fn func(*Flow, *Packet)) { s.m.OnDeliver = fn }
+
+// At schedules fn at an absolute simulated time (scenario scripting).
+func (s *Simulator) At(t Duration, fn func()) { s.m.Eng.At(t, fn) }
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d Duration) { s.m.Run(s.m.Eng.Now() + d) }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Duration { return s.m.Eng.Now() }
+
+// ResetMetrics restarts throughput meters and cache counters, so a
+// steady-state window can be measured after warm-up.
+func (s *Simulator) ResetMetrics() { s.m.ResetWindow() }
+
+// Snapshot summarises the machine's aggregate metrics.
+type Snapshot struct {
+	Arch          string
+	Time          Duration
+	DeliveredPkts uint64
+	TotalMpps     float64
+	TotalGbps     float64
+	InvolvedMpps  float64
+	BypassGbps    float64
+	LLCMissRate   float64
+	Drops         uint64
+}
+
+// Snapshot captures the current aggregate metrics.
+func (s *Simulator) Snapshot() Snapshot {
+	now := s.m.Eng.Now()
+	return Snapshot{
+		Arch:          s.dp.Name(),
+		Time:          now,
+		DeliveredPkts: s.m.Delivered.Packets,
+		TotalMpps:     s.m.Delivered.Mpps(now),
+		TotalGbps:     s.m.Delivered.Gbps(now),
+		InvolvedMpps:  s.m.InvolvedMeter.Mpps(now),
+		BypassGbps:    s.m.BypassMeter.Gbps(now),
+		LLCMissRate:   s.m.LLC.MissRate(),
+		Drops:         s.m.TotalDrops,
+	}
+}
+
+// String renders a one-line summary.
+func (sn Snapshot) String() string {
+	return fmt.Sprintf("[%s @ %v] %.2f Mpps / %.2f Gbps (involved %.2f Mpps, bypass %.2f Gbps), LLC miss %.1f%%, drops %d",
+		sn.Arch, sn.Time, sn.TotalMpps, sn.TotalGbps, sn.InvolvedMpps, sn.BypassGbps, sn.LLCMissRate*100, sn.Drops)
+}
+
+// KVFlow returns an eRPC-style key-value flow (CPU-involved, zero-copy;
+// pktSize 0 selects the paper's 144B requests).
+func KVFlow(id, pktSize int) FlowSpec { return workload.ERPCKV(id, pktSize, workload.DPDK) }
+
+// FileTransferFlow returns a LineFS-style DFS write flow (CPU-bypass;
+// zero values select 1024B packets in 1024-packet chunks).
+func FileTransferFlow(id, pktSize, chunkPkts int) FlowSpec {
+	return workload.LineFS(id, pktSize, chunkPkts)
+}
+
+// EchoFlow returns a dperf-style echo flow (CPU-involved).
+func EchoFlow(id, msgSize int) FlowSpec { return workload.Echo(id, msgSize) }

@@ -1,0 +1,110 @@
+package ceio_test
+
+import (
+	"strings"
+	"testing"
+
+	"ceio"
+)
+
+func TestSimulatorQuickstart(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	sim.AddFlow(ceio.KVFlow(1, 144))
+	sim.AddFlow(ceio.FileTransferFlow(2, 0, 0))
+	sim.RunFor(5 * ceio.Millisecond)
+	sn := sim.Snapshot()
+	if sn.DeliveredPkts == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if sn.Arch != "CEIO" {
+		t.Fatalf("arch = %q", sn.Arch)
+	}
+	if !strings.Contains(sn.String(), "CEIO") {
+		t.Fatal("snapshot string missing arch")
+	}
+	if sim.CEIO() == nil {
+		t.Fatal("CEIO accessor should return the datapath")
+	}
+}
+
+func TestSimulatorAllArchitectures(t *testing.T) {
+	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchHostCC, ceio.ArchShRing, ceio.ArchCEIO} {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+		sim.AddFlow(ceio.EchoFlow(1, 512))
+		sim.RunFor(2 * ceio.Millisecond)
+		if sim.Snapshot().DeliveredPkts == 0 {
+			t.Errorf("%s delivered nothing", arch)
+		}
+		if arch != ceio.ArchCEIO && sim.CEIO() != nil {
+			t.Errorf("%s should not expose a CEIO datapath", arch)
+		}
+	}
+}
+
+func TestSimulatorScenarioScripting(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	f := sim.AddFlow(ceio.EchoFlow(1, 256))
+	delivered := 0
+	sim.OnDeliver(func(fl *ceio.Flow, p *ceio.Packet) { delivered++ })
+	sim.At(1*ceio.Millisecond, func() { sim.PauseFlow(1) })
+	sim.At(2*ceio.Millisecond, func() { sim.ResumeFlow(1) })
+	sim.RunFor(3 * ceio.Millisecond)
+	if delivered == 0 || f.Generated == 0 {
+		t.Fatal("scripting produced no traffic")
+	}
+	// Warm-up reset: metrics window restarts.
+	sim.ResetMetrics()
+	before := sim.Snapshot().DeliveredPkts
+	if before != 0 {
+		t.Fatalf("reset did not clear delivered count, got %d", before)
+	}
+	sim.RunFor(1 * ceio.Millisecond)
+	if sim.Snapshot().DeliveredPkts == 0 {
+		t.Fatal("no traffic after reset")
+	}
+}
+
+func TestCEIOSimulatorWithOptions(t *testing.T) {
+	opts := ceio.DefaultCEIOOptions()
+	opts.ForceSlowPath = true
+	sim := ceio.NewCEIOSimulator(ceio.DefaultConfig(), opts)
+	sim.AddFlow(ceio.EchoFlow(1, 1024))
+	sim.RunFor(3 * ceio.Millisecond)
+	dp := sim.CEIO()
+	if dp == nil {
+		t.Fatal("no CEIO datapath")
+	}
+	if dp.FastPackets != 0 || dp.SlowPackets == 0 {
+		t.Fatalf("forced slow path: fast=%d slow=%d", dp.FastPackets, dp.SlowPackets)
+	}
+}
+
+func TestMachineAccessor(t *testing.T) {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchBaseline)
+	sim.AddFlow(ceio.KVFlow(1, 0))
+	sim.RunFor(1 * ceio.Millisecond)
+	m := sim.Machine()
+	if m.LLC.Insertions == 0 {
+		t.Fatal("machine accessor should expose live LLC counters")
+	}
+	if sim.Now() != 1*ceio.Millisecond {
+		t.Fatalf("now = %v", sim.Now())
+	}
+}
+
+func TestLoadScenarioFacade(t *testing.T) {
+	spec, err := ceio.LoadScenario(strings.NewReader(`{
+		"arch": "CEIO", "duration_ms": 1,
+		"flows": [{"id": 1, "kind": "rpc"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMpps <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}

@@ -1,0 +1,71 @@
+// Command ceio-bench regenerates the tables and figures of the CEIO
+// paper's evaluation on the simulated substrate.
+//
+// Usage:
+//
+//	ceio-bench [-quick] [experiment ...]
+//	ceio-bench -list
+//
+// With no arguments it runs every experiment ("all"). Experiment names
+// follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
+// table4, limits, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ceio/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweeps and measurement windows (~10x faster)")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ceio-bench [-quick] [-seed N] [experiment ...]\nexperiments: %s\n",
+			strings.Join(experiments.Names(), ", "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Machine.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, ok := experiments.ByName(name, cfg)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ceio-bench: unknown experiment %q (try -list)\n", name)
+			os.Exit(2)
+		}
+		for _, tb := range tables {
+			if *csvOut {
+				if err := tb.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "ceio-bench: %v\n", err)
+					os.Exit(1)
+				}
+			} else {
+				tb.Render(os.Stdout)
+			}
+		}
+		if !*csvOut {
+			fmt.Printf("\n[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command ceio-trace dumps the sampled time series behind the dynamic
+// scenarios (Figures 4 and 10) as CSV, one row per sampling interval,
+// suitable for plotting.
+//
+// Usage:
+//
+//	ceio-trace -scenario dynamic -method CEIO > ceio-dynamic.csv
+//	ceio-trace -scenario burst -method ShRing
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ceio/internal/experiments"
+	"ceio/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "dynamic", "dynamic | burst")
+	method := flag.String("method", "CEIO", "Baseline | HostCC | ShRing | CEIO")
+	quick := flag.Bool("quick", false, "short run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	var me workload.Method
+	switch *method {
+	case "Baseline":
+		me = workload.MethodBaseline
+	case "HostCC":
+		me = workload.MethodHostCC
+	case "ShRing":
+		me = workload.MethodShRing
+	case "CEIO":
+		me = workload.MethodCEIO
+	default:
+		fmt.Fprintf(os.Stderr, "ceio-trace: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+	burst := false
+	switch *scenario {
+	case "dynamic":
+	case "burst":
+		burst = true
+	default:
+		fmt.Fprintf(os.Stderr, "ceio-trace: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Machine.Seed = *seed
+	res := experiments.Fig10Series(cfg, me, burst)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	w.Write([]string{"time_us", "involved_mpps", "total_gbps", "llc_miss_rate"})
+	mpps := res.Series.InvolvedMpps.Points
+	gbps := res.Series.TotalGbps.Points
+	miss := res.Series.MissRate.Points
+	for i := range mpps {
+		row := []string{
+			strconv.FormatFloat(mpps[i].T.Micros(), 'f', 1, 64),
+			strconv.FormatFloat(mpps[i].V, 'f', 3, 64),
+			"", "",
+		}
+		if i < len(gbps) {
+			row[2] = strconv.FormatFloat(gbps[i].V, 'f', 3, 64)
+		}
+		if i < len(miss) {
+			row[3] = strconv.FormatFloat(miss[i].V, 'f', 4, 64)
+		}
+		w.Write(row)
+	}
+}

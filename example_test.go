@@ -1,0 +1,56 @@
+package ceio_test
+
+import (
+	"fmt"
+
+	"ceio"
+)
+
+// The basic flow: build a simulator, add flows, run, inspect.
+func Example() {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	sim.AddFlow(ceio.KVFlow(1, 144))
+	sim.RunFor(2 * ceio.Millisecond)
+	sn := sim.Snapshot()
+	fmt.Println(sn.Arch, sn.DeliveredPkts > 0, sn.LLCMissRate < 0.05)
+	// Output: CEIO true true
+}
+
+// Comparing architectures on the same workload.
+func ExampleNewSimulator_comparison() {
+	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchCEIO} {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+		for i := 1; i <= 8; i++ {
+			sim.AddFlow(ceio.KVFlow(i, 256))
+		}
+		sim.RunFor(5 * ceio.Millisecond)
+		fmt.Printf("%s: misses=%v\n", arch, sim.Snapshot().LLCMissRate > 0.5)
+	}
+	// Output:
+	// Baseline: misses=true
+	// CEIO: misses=false
+}
+
+// Running a real key-value application over the simulated datapath.
+func ExampleSimulator_BindRPC() {
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	store := ceio.NewKVStore()
+	store.Populate(1000, 16, 64)
+	sim.BindRPC(ceio.NewKVRPCServer(store, 1000))
+	sim.AddFlow(ceio.KVFlow(1, 144))
+	sim.RunFor(1 * ceio.Millisecond)
+	fmt.Println(store.Gets > 0, store.Puts > 0, store.GetMisses)
+	// Output: true true 0
+}
+
+// Forcing the slow path reproduces the Fig. 11 micro-benchmark setup.
+func ExampleNewCEIOSimulator() {
+	opts := ceio.DefaultCEIOOptions()
+	opts.ForceSlowPath = true
+	sim := ceio.NewCEIOSimulator(ceio.DefaultConfig(), opts)
+	sim.AddFlow(ceio.EchoFlow(1, 4096))
+	sim.RunFor(2 * ceio.Millisecond)
+	dp := sim.CEIO()
+	fmt.Println(dp.FastPackets == 0, dp.SlowPackets > 0)
+	// Output: true true
+}

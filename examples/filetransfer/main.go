@@ -1,0 +1,49 @@
+// filetransfer drives a LineFS-style distributed-file-system write
+// workload: CPU-bypass RDMA flows streaming 16GB-class files in chunks,
+// and shows how CEIO's elastic buffering carries the stream while the
+// fast/slow path split protects the LLC (the Fig. 9c / Fig. 11 story).
+//
+//	go run ./examples/filetransfer [-flows 8] [-chunk 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ceio"
+)
+
+func main() {
+	flows := flag.Int("flows", 8, "parallel writer flows")
+	chunk := flag.Int("chunk", 1024, "packets per write chunk (RDMA write-with-immediate batch)")
+	flag.Parse()
+
+	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchCEIO} {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+		// A real DFS server reassembles each flow's stream into a file,
+		// tracking received extents and the replication/log pipeline.
+		srv := ceio.NewDFSServer()
+		for i := 1; i <= *flows; i++ {
+			sim.AddFlow(ceio.FileTransferFlow(i, 1024, *chunk))
+			name := fmt.Sprintf("file-%d", i)
+			srv.Create(name, 1<<30, 2)
+			sim.BindDFS(srv, i, name)
+		}
+		sim.RunFor(5 * ceio.Millisecond)
+		sim.ResetMetrics()
+		sim.RunFor(20 * ceio.Millisecond)
+		sn := sim.Snapshot()
+
+		fmt.Printf("%-8s: %7.2f Gbps aggregate write bandwidth, LLC miss %.1f%%\n",
+			arch, sn.BypassGbps, sn.LLCMissRate*100)
+		fmt.Printf("          DFS stored %d chunks (%.2f GB), %d log entries retained\n",
+			srv.Chunks, float64(srv.BytesStored)/1e9, srv.LogLen())
+		if dp := sim.CEIO(); dp != nil {
+			total := dp.FastPackets + dp.SlowPackets
+			fmt.Printf("          %.0f%% of packets took the elastic slow path (on-NIC memory), %d CCA marks\n",
+				float64(dp.SlowPackets)/float64(total)*100, dp.SlowMarks)
+		}
+	}
+	fmt.Println("\nWith CEIO, large-message bypass flows exhaust their credits (lazy release)")
+	fmt.Println("and stream through on-NIC memory, leaving the LLC to latency-sensitive flows.")
+}

@@ -1,0 +1,3 @@
+module ceio
+
+go 1.24

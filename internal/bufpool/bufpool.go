@@ -1,0 +1,170 @@
+// Package bufpool implements the host I/O buffer pool behind the CEIO
+// driver's zero-copy API (§5): post_recv() transfers ownership of an
+// application buffer to the driver for use as a DMA target, the NIC fills
+// it, recv()/async_recv() transfer the filled buffer to the application,
+// and releasing it re-posts it to the pool. The pool enforces the
+// ownership state machine and detects double-posts, double-frees, and
+// leaks — the bugs that plague real zero-copy datapaths.
+package bufpool
+
+import "fmt"
+
+// State is a buffer's position in the ownership cycle.
+type State uint8
+
+// Ownership states.
+const (
+	// StateFree: owned by the pool, available for posting.
+	StateFree State = iota
+	// StatePosted: owned by the driver/NIC as a DMA target.
+	StatePosted
+	// StateFilled: carrying received data, owned by the application.
+	StateFilled
+)
+
+func (s State) String() string {
+	switch s {
+	case StateFree:
+		return "free"
+	case StatePosted:
+		return "posted"
+	default:
+		return "filled"
+	}
+}
+
+// Buffer is one pooled I/O buffer.
+type Buffer struct {
+	ID    uint64
+	Size  int
+	state State
+}
+
+// State returns the buffer's current ownership state.
+func (b *Buffer) State() State { return b.state }
+
+// Pool manages a fixed set of equal-size I/O buffers.
+type Pool struct {
+	bufSize int
+	all     []*Buffer
+	free    []*Buffer
+
+	// Statistics.
+	Posts     uint64
+	Fills     uint64
+	Releases  uint64
+	Exhausted uint64 // failed Post calls
+	AppPosts  uint64 // zero-copy post_recv donations
+	peakInUse int
+}
+
+// New creates a pool of n buffers of bufSize bytes each.
+func New(n, bufSize int) *Pool {
+	if n <= 0 || bufSize <= 0 {
+		panic("bufpool: need positive buffer count and size")
+	}
+	p := &Pool{bufSize: bufSize}
+	p.all = make([]*Buffer, n)
+	p.free = make([]*Buffer, n)
+	for i := range p.all {
+		b := &Buffer{ID: uint64(i), Size: bufSize}
+		p.all[i] = b
+		p.free[i] = b
+	}
+	return p
+}
+
+// Cap returns the total number of buffers.
+func (p *Pool) Cap() int { return len(p.all) }
+
+// Free returns the number of buffers available for posting.
+func (p *Pool) Free() int { return len(p.free) }
+
+// InUse returns buffers currently posted or held by the application.
+func (p *Pool) InUse() int { return p.Cap() - p.Free() }
+
+// PeakInUse returns the high-water mark of in-use buffers.
+func (p *Pool) PeakInUse() int { return p.peakInUse }
+
+// BufSize returns the per-buffer size in bytes.
+func (p *Pool) BufSize() int { return p.bufSize }
+
+// Post takes a free buffer for use as a DMA target (the driver posting a
+// receive). It returns nil when the pool is exhausted — at the NIC this
+// means the packet has nowhere to land.
+func (p *Pool) Post() *Buffer {
+	if len(p.free) == 0 {
+		p.Exhausted++
+		return nil
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	b.state = StatePosted
+	p.Posts++
+	if u := p.InUse(); u > p.peakInUse {
+		p.peakInUse = u
+	}
+	return b
+}
+
+// Fill marks a posted buffer as carrying received data and transfers
+// ownership to the application (the recv() return path).
+func (p *Pool) Fill(b *Buffer) error {
+	if b.state != StatePosted {
+		return fmt.Errorf("bufpool: fill of %s buffer %d", b.state, b.ID)
+	}
+	b.state = StateFilled
+	p.Fills++
+	return nil
+}
+
+// Release returns an application-owned buffer to the pool (the post_recv
+// recycle). Releasing a buffer that is not application-owned is a
+// double-free style bug and is reported.
+func (p *Pool) Release(b *Buffer) error {
+	if b.state != StateFilled {
+		return fmt.Errorf("bufpool: release of %s buffer %d", b.state, b.ID)
+	}
+	b.state = StateFree
+	p.free = append(p.free, b)
+	p.Releases++
+	return nil
+}
+
+// Cancel returns a posted-but-unfilled buffer to the pool (the packet was
+// dropped before its DMA completed).
+func (p *Pool) Cancel(b *Buffer) error {
+	if b.state != StatePosted {
+		return fmt.Errorf("bufpool: cancel of %s buffer %d", b.state, b.ID)
+	}
+	b.state = StateFree
+	p.free = append(p.free, b)
+	return nil
+}
+
+// PostRecv is the zero-copy donation API of §5: the application hands a
+// buffer it owns back to the driver as a future DMA target without a
+// copy. Semantically it is Release followed by an accounting of the
+// zero-copy hand-off.
+func (p *Pool) PostRecv(b *Buffer) error {
+	if err := p.Release(b); err != nil {
+		return err
+	}
+	p.AppPosts++
+	return nil
+}
+
+// CheckLeaks verifies every buffer is accounted for: the free list plus
+// in-use states must cover the pool exactly.
+func (p *Pool) CheckLeaks() error {
+	freeCount := 0
+	for _, b := range p.all {
+		if b.state == StateFree {
+			freeCount++
+		}
+	}
+	if freeCount != len(p.free) {
+		return fmt.Errorf("bufpool: %d buffers in free state but %d on free list", freeCount, len(p.free))
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package bufpool
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLifecycle(t *testing.T) {
+	p := New(2, 2048)
+	if p.Cap() != 2 || p.Free() != 2 || p.BufSize() != 2048 {
+		t.Fatalf("fresh pool: %d/%d", p.Free(), p.Cap())
+	}
+	b := p.Post()
+	if b == nil || b.State() != StatePosted {
+		t.Fatalf("post: %+v", b)
+	}
+	if err := p.Fill(b); err != nil {
+		t.Fatal(err)
+	}
+	if b.State() != StateFilled {
+		t.Fatal("state after fill")
+	}
+	if err := p.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 2 || b.State() != StateFree {
+		t.Fatal("release did not return buffer")
+	}
+	if err := p.CheckLeaks(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExhaustion(t *testing.T) {
+	p := New(1, 64)
+	b := p.Post()
+	if p.Post() != nil {
+		t.Fatal("second post should fail")
+	}
+	if p.Exhausted != 1 {
+		t.Fatalf("exhausted = %d", p.Exhausted)
+	}
+	p.Fill(b)
+	p.Release(b)
+	if p.Post() == nil {
+		t.Fatal("post after release should succeed")
+	}
+}
+
+func TestInvalidTransitions(t *testing.T) {
+	p := New(1, 64)
+	b := p.Post()
+	if err := p.Release(b); err == nil {
+		t.Fatal("release of posted buffer must fail")
+	}
+	if err := p.Fill(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Fill(b); err == nil {
+		t.Fatal("double fill must fail")
+	}
+	if err := p.Cancel(b); err == nil {
+		t.Fatal("cancel of filled buffer must fail")
+	}
+	p.Release(b)
+	if err := p.Release(b); err == nil {
+		t.Fatal("double free must fail")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	p := New(1, 64)
+	b := p.Post()
+	if err := p.Cancel(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.Free() != 1 {
+		t.Fatal("cancel should free")
+	}
+}
+
+func TestPostRecvZeroCopy(t *testing.T) {
+	p := New(1, 64)
+	b := p.Post()
+	p.Fill(b)
+	if err := p.PostRecv(b); err != nil {
+		t.Fatal(err)
+	}
+	if p.AppPosts != 1 || p.Free() != 1 {
+		t.Fatalf("app posts=%d free=%d", p.AppPosts, p.Free())
+	}
+}
+
+func TestPeakInUse(t *testing.T) {
+	p := New(4, 64)
+	a, b := p.Post(), p.Post()
+	p.Fill(a)
+	p.Release(a)
+	p.Fill(b)
+	p.Release(b)
+	if p.PeakInUse() != 2 {
+		t.Fatalf("peak = %d", p.PeakInUse())
+	}
+}
+
+// Property: any random walk of valid operations conserves buffers.
+func TestConservationProperty(t *testing.T) {
+	type op struct{ Kind uint8 }
+	f := func(ops []op) bool {
+		p := New(8, 64)
+		var posted, filled []*Buffer
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				if b := p.Post(); b != nil {
+					posted = append(posted, b)
+				}
+			case 1:
+				if len(posted) > 0 {
+					b := posted[0]
+					posted = posted[1:]
+					if p.Fill(b) != nil {
+						return false
+					}
+					filled = append(filled, b)
+				}
+			case 2:
+				if len(filled) > 0 {
+					b := filled[0]
+					filled = filled[1:]
+					if p.Release(b) != nil {
+						return false
+					}
+				}
+			case 3:
+				if len(posted) > 0 {
+					b := posted[len(posted)-1]
+					posted = posted[:len(posted)-1]
+					if p.Cancel(b) != nil {
+						return false
+					}
+				}
+			}
+			if p.Free()+len(posted)+len(filled) != p.Cap() {
+				return false
+			}
+			if p.CheckLeaks() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package cache models the host memory hierarchy that CEIO manages:
+// the DDIO-accessible region of the Last-Level Cache, the DRAM behind it,
+// the memory controller's shared bandwidth, and the IIO (Integrated I/O)
+// staging buffer whose occupancy HostCC uses as a congestion signal.
+//
+// The model captures the mechanism the paper attributes LLC misses to:
+// DDIO writes land in a bounded region of the LLC; when in-flight I/O data
+// exceeds that region, the least-recently written unconsumed buffers are
+// evicted to DRAM, and the CPU later pays a DRAM access (latency plus
+// memory bandwidth) to read them (§2.2 of the paper).
+package cache
+
+import "fmt"
+
+// BufID identifies one I/O buffer in flight through the hierarchy.
+type BufID uint64
+
+// node is an intrusive doubly-linked LRU list node.
+type node struct {
+	id         BufID
+	size       int64
+	prev, next *node
+}
+
+// LLC models the DDIO-accessible region of the last-level cache as an
+// LRU-ordered set of resident I/O buffers with a byte-capacity bound.
+type LLC struct {
+	capacity  int64
+	occupancy int64
+
+	entries map[BufID]*node
+	head    *node // most recently inserted/touched
+	tail    *node // least recently used: next eviction victim
+
+	// onEvict, if set, is invoked for each buffer evicted to DRAM.
+	onEvict func(BufID)
+
+	// Statistics.
+	Insertions uint64
+	Evictions  uint64
+	Hits       uint64
+	Misses     uint64
+}
+
+// NewLLC creates an LLC model with the given DDIO-region capacity in bytes.
+func NewLLC(capacityBytes int64) *LLC {
+	if capacityBytes <= 0 {
+		panic("cache: LLC capacity must be positive")
+	}
+	return &LLC{capacity: capacityBytes, entries: make(map[BufID]*node)}
+}
+
+// SetEvictHandler registers a callback invoked for every eviction.
+func (c *LLC) SetEvictHandler(fn func(BufID)) { c.onEvict = fn }
+
+// Capacity returns the DDIO-region size in bytes.
+func (c *LLC) Capacity() int64 { return c.capacity }
+
+// Occupancy returns the bytes currently resident.
+func (c *LLC) Occupancy() int64 { return c.occupancy }
+
+// Resident reports whether id is currently cached.
+func (c *LLC) Resident(id BufID) bool { _, ok := c.entries[id]; return ok }
+
+// Len returns the number of resident buffers.
+func (c *LLC) Len() int { return len(c.entries) }
+
+func (c *LLC) pushFront(n *node) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LLC) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// InsertIO models a DDIO write of one I/O buffer into the cache. If the
+// region is full, least-recently-used buffers are evicted to DRAM until the
+// new buffer fits ("subsequent packets overwrite earlier ones", §2.2). The
+// evicted buffer IDs are returned (the eviction handler also fires).
+// Inserting an already-resident buffer refreshes it to MRU.
+func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
+	}
+	if size > c.capacity {
+		// A buffer that can never fit bypasses the cache entirely.
+		c.Misses++
+		if c.onEvict != nil {
+			c.onEvict(id)
+		}
+		return []BufID{id}
+	}
+	if n, ok := c.entries[id]; ok {
+		c.occupancy += size - n.size
+		n.size = size
+		c.unlink(n)
+		c.pushFront(n)
+	} else {
+		n := &node{id: id, size: size}
+		c.entries[id] = n
+		c.pushFront(n)
+		c.occupancy += size
+		c.Insertions++
+	}
+	for c.occupancy > c.capacity && c.tail != nil {
+		victim := c.tail
+		if victim.id == id && len(c.entries) == 1 {
+			break
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.id)
+		c.occupancy -= victim.size
+		c.Evictions++
+		evicted = append(evicted, victim.id)
+		if c.onEvict != nil {
+			c.onEvict(victim.id)
+		}
+	}
+	return evicted
+}
+
+// Consume models the CPU (or memory controller) reading and retiring one
+// I/O buffer. It returns true on an LLC hit: the buffer was still resident
+// and is freed. It returns false on a miss: the buffer was evicted to DRAM
+// before the consumer reached it, so the caller must charge a DRAM access.
+func (c *LLC) Consume(id BufID) bool {
+	n, ok := c.entries[id]
+	if !ok {
+		c.Misses++
+		return false
+	}
+	c.unlink(n)
+	delete(c.entries, id)
+	c.occupancy -= n.size
+	c.Hits++
+	return true
+}
+
+// Peek is Consume without retiring: it classifies hit/miss and updates
+// counters but leaves a resident buffer in place (used by workloads that
+// touch a buffer multiple times).
+func (c *LLC) Peek(id BufID) bool {
+	if n, ok := c.entries[id]; ok {
+		// Refresh recency on touch.
+		c.unlink(n)
+		c.pushFront(n)
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Probe classifies a read as hit or miss without retiring the buffer or
+// refreshing its recency. It models the use-once streaming read of a
+// CPU-bypass consumer over a write-back cache: the line stays resident
+// (dirty) until capacity pressure evicts it, which is how bypass traffic
+// "continuously flushes the LLC" in the paper's coexistence analysis.
+func (c *LLC) Probe(id BufID) bool {
+	if _, ok := c.entries[id]; ok {
+		c.Hits++
+		return true
+	}
+	c.Misses++
+	return false
+}
+
+// Drop removes a buffer without classifying it as hit or miss (used when a
+// packet is dropped before any consumer touches it).
+func (c *LLC) Drop(id BufID) {
+	if n, ok := c.entries[id]; ok {
+		c.unlink(n)
+		delete(c.entries, id)
+		c.occupancy -= n.size
+	}
+}
+
+// MissRate returns misses/(hits+misses).
+func (c *LLC) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// ResetStats zeroes the counters (the resident set is untouched), so
+// experiments can measure steady-state windows after warm-up.
+func (c *LLC) ResetStats() {
+	c.Insertions, c.Evictions, c.Hits, c.Misses = 0, 0, 0, 0
+}
+
+// checkInvariants validates internal consistency; used by tests.
+func (c *LLC) checkInvariants() error {
+	var sum int64
+	count := 0
+	seen := make(map[BufID]bool)
+	for n := c.head; n != nil; n = n.next {
+		if seen[n.id] {
+			return fmt.Errorf("cycle or duplicate at %d", n.id)
+		}
+		seen[n.id] = true
+		sum += n.size
+		count++
+		if n.next == nil && c.tail != n {
+			return fmt.Errorf("tail mismatch")
+		}
+	}
+	if sum != c.occupancy {
+		return fmt.Errorf("occupancy %d != sum %d", c.occupancy, sum)
+	}
+	if count != len(c.entries) {
+		return fmt.Errorf("list %d != map %d", count, len(c.entries))
+	}
+	if c.occupancy > c.capacity && count > 1 {
+		return fmt.Errorf("over capacity: %d > %d", c.occupancy, c.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,656 @@
+package core
+
+import (
+	"fmt"
+
+	"ceio/internal/flowsteer"
+	"ceio/internal/iosys"
+	"ceio/internal/pkt"
+	"ceio/internal/ring"
+	"ceio/internal/sim"
+	"ceio/internal/trace"
+)
+
+// Options configure the CEIO datapath. The boolean switches exist to
+// reproduce the paper's ablations (Table 4 evaluates CEIO with and
+// without the fast/slow path optimisations) and micro-benchmarks (Fig. 11
+// forces the slow path by setting a flow's credits to zero).
+type Options struct {
+	// TotalCredits overrides C_total (0 = derive from the machine config
+	// via Eq. 1: LLC bytes / I/O buffer size).
+	TotalCredits int
+	// SWRingEntries sizes each flow's software ring.
+	SWRingEntries int
+	// ReadAhead bounds outstanding slow-path DMA reads per flow.
+	ReadAhead int
+	// SlowMarkDepth is the on-NIC backlog (packets) at which arriving
+	// slow-path packets are ECN-marked, triggering the CCA when the
+	// network's production rate exceeds the slow path's consumption rate
+	// (§4.1 Q2).
+	SlowMarkDepth int
+	// ControlOverhead is the per-packet latency added by the flow
+	// controller logic on the NIC's ARM cores (Table 3 measures it as a
+	// 1.10-1.48x latency overhead versus raw RDMA writes).
+	ControlOverhead sim.Time
+	// ScanPeriod is the active-flow scan interval (§4.1 Q3).
+	ScanPeriod sim.Time
+	// ReactivatePeriod is the round-robin re-activation backup timer.
+	ReactivatePeriod sim.Time
+	// ReactivateQuota is the credit grant given to a re-activated flow.
+	ReactivateQuota int
+	// InactiveScans is the number of consecutive idle scan periods after
+	// which a flow is declared inactive and its credits recycled (the
+	// paper uses a coarse ~1s timer; this is the scaled equivalent).
+	InactiveScans int
+
+	// LazyRelease enables the lazy credit release design choice of §4.1
+	// (credits return only at message-batch completion). Disabling it
+	// releases per packet — the "eager" ablation.
+	LazyRelease bool
+	// CreditRealloc enables the active-flow credit reallocation (Q3);
+	// Table 4's "CEIO w/o optimization" disables it.
+	CreditRealloc bool
+	// AsyncDrain enables asynchronous slow-path DMA reads (§4.2);
+	// disabling it fetches synchronously, stalling the consumer.
+	AsyncDrain bool
+	// ForceSlowPath sets every flow's credits to zero so all traffic
+	// takes the slow path (Fig. 11's "slow path" curve).
+	ForceSlowPath bool
+	// MPQ, when non-nil, replaces the credit-based scheduler with the
+	// PIAS-style Multiple Priority Queues strawman §4.1 argues against:
+	// a shared credit pool with per-priority reserves and eager release.
+	// Used by the MPQ-vs-lazy-release ablation.
+	MPQ *MPQConfig
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{
+		SWRingEntries:    8192,
+		ReadAhead:        16,
+		SlowMarkDepth:    64,
+		ControlOverhead:  150 * sim.Nanosecond,
+		ScanPeriod:       200 * sim.Microsecond,
+		ReactivatePeriod: 500 * sim.Microsecond,
+		ReactivateQuota:  64,
+		InactiveScans:    5,
+		LazyRelease:      true,
+		CreditRealloc:    true,
+		AsyncDrain:       true,
+	}
+}
+
+// flowState is the per-flow state of the flow controller plus elastic
+// buffer manager.
+type flowState struct {
+	f  *iosys.Flow
+	sw *ring.SWRing
+
+	mode pkt.Path // current steering action for this flow
+
+	fastInFlight  int           // fast-path DMA writes not yet landed
+	waitQ         []*pkt.Packet // on-NIC packets awaiting SW-ring insertion
+	onNIC         int           // packets resident in on-NIC memory
+	slowUnpushed  int           // slow packets not yet inserted in the SW ring
+	readsInFlight int
+
+	unreleased      int    // fast-path packets delivered since last release
+	deliveredAtScan uint64 // activity tracking for the credit scan
+	generatedAtScan uint64
+	idleScans       int // consecutive scans with no traffic
+
+	mpq *mpqState // PIAS priority tracking (MPQ scheduler only)
+}
+
+// CEIO is the cache-efficient I/O datapath (Figure 5): a credit-based
+// flow controller at the NIC entrance decides per packet between the
+// legacy fast path (DMA into the DDIO region of the LLC) and the elastic
+// slow path (buffering in on-NIC memory), and the elastic buffer manager
+// drains the slow path into host memory in order, asynchronously.
+type CEIO struct {
+	m    *iosys.Machine
+	opt  Options
+	ctrl *CreditController
+
+	flows    map[int]*flowState
+	rrCursor int
+	mpqInUse int // shared credits consumed (MPQ scheduler only)
+
+	// Statistics.
+	FastPackets uint64
+	SlowPackets uint64
+	SlowMarks   uint64
+	Drains      uint64 // completed slow-path drains (fast path resumes)
+	NICMemDrops uint64
+}
+
+// New constructs the CEIO datapath with opts.
+func New(opts Options) *CEIO {
+	d := DefaultOptions()
+	if opts.SWRingEntries == 0 {
+		opts.SWRingEntries = d.SWRingEntries
+	}
+	if opts.ReadAhead == 0 {
+		opts.ReadAhead = d.ReadAhead
+	}
+	if opts.SlowMarkDepth == 0 {
+		opts.SlowMarkDepth = d.SlowMarkDepth
+	}
+	if opts.ControlOverhead == 0 {
+		opts.ControlOverhead = d.ControlOverhead
+	}
+	if opts.ScanPeriod == 0 {
+		opts.ScanPeriod = d.ScanPeriod
+	}
+	if opts.ReactivatePeriod == 0 {
+		opts.ReactivatePeriod = d.ReactivatePeriod
+	}
+	if opts.ReactivateQuota == 0 {
+		opts.ReactivateQuota = d.ReactivateQuota
+	}
+	if opts.InactiveScans == 0 {
+		opts.InactiveScans = d.InactiveScans
+	}
+	return &CEIO{opt: opts, flows: make(map[int]*flowState)}
+}
+
+// Name implements iosys.Datapath.
+func (c *CEIO) Name() string { return "CEIO" }
+
+// Controller exposes the credit controller (tests, diagnostics).
+func (c *CEIO) Controller() *CreditController { return c.ctrl }
+
+// Options returns the active option set.
+func (c *CEIO) Options() Options { return c.opt }
+
+// Attach implements iosys.Datapath: it derives C_total from the machine
+// configuration and starts the credit-management timers.
+func (c *CEIO) Attach(m *iosys.Machine) {
+	c.m = m
+	total := c.opt.TotalCredits
+	if total == 0 {
+		total = m.Cfg.TotalCredits()
+	}
+	c.ctrl = NewCreditController(total)
+	if c.opt.CreditRealloc && c.opt.MPQ == nil {
+		m.Eng.Every(c.opt.ScanPeriod, c.opt.ScanPeriod, c.scanActiveFlows)
+		m.Eng.Every(c.opt.ReactivatePeriod, c.opt.ReactivatePeriod, c.reactivateRoundRobin)
+	}
+}
+
+// FlowAdded allocates credits per Algorithm 1 and offloads the initial
+// fast-path steering rule to the RMT engine.
+func (c *CEIO) FlowAdded(f *iosys.Flow) {
+	c.ctrl.AddFlows(f.ID)
+	st := &flowState{f: f, sw: ring.NewSWRing(c.opt.SWRingEntries)}
+	if c.opt.ForceSlowPath {
+		c.ctrl.Recycle(f.ID)
+		st.mode = pkt.PathSlow
+		c.m.Steer.Install(f.ID, flowsteer.ActionSlowPath)
+	} else {
+		st.mode = pkt.PathFast
+		c.m.Steer.Install(f.ID, flowsteer.ActionFastPath)
+	}
+	c.flows[f.ID] = st
+	f.DP = st
+}
+
+// FlowRemoved releases the flow's credits back to the pool and removes
+// its steering rule.
+func (c *CEIO) FlowRemoved(f *iosys.Flow) {
+	st := c.flows[f.ID]
+	if st != nil && st.unreleased > 0 {
+		c.ctrl.Release(f.ID, st.unreleased)
+		st.unreleased = 0
+	}
+	c.ctrl.RemoveFlow(f.ID)
+	c.m.Steer.Uninstall(f.ID)
+	delete(c.flows, f.ID)
+}
+
+// Ingress implements the NIC-entrance decision of Figure 6: consume a
+// credit and take the legacy fast path, or divert to the elastic on-NIC
+// buffer. The control overhead models the flow controller logic on the
+// NIC cores.
+func (c *CEIO) Ingress(f *iosys.Flow, p *pkt.Packet) {
+	st := c.flows[f.ID]
+	if st == nil {
+		return // flow torn down while the packet was on the wire
+	}
+	c.m.Eng.After(c.opt.ControlOverhead, func() {
+		action := c.m.Steer.Lookup(f.ID, p.Size)
+		if action == flowsteer.ActionFastPath && c.admit(st, p) {
+			c.ingressFast(st, p)
+			return
+		}
+		c.ingressSlow(st, p)
+	})
+}
+
+// admit decides fast-path admission under the active scheduler: per-flow
+// credit accounts with a proactive low-water ECN signal (CEIO's design),
+// or the shared-pool PIAS admission of the MPQ strawman.
+func (c *CEIO) admit(st *flowState, p *pkt.Packet) bool {
+	if c.opt.MPQ != nil {
+		return c.mpqAdmit(st, p)
+	}
+	if !c.ctrl.Consume(st.f.ID) {
+		return false
+	}
+	// Proactive rate signal: when the flow's credit balance runs low, the
+	// controller ECN-marks fast-path packets so the sender's CCA converges
+	// with in-flight data just below the credit bound — before any LLC
+	// overflow occurs. This is the "proactive" half of Table 1: the signal
+	// fires ahead of misses, where HostCC's fires only after them.
+	if c.ctrl.Available(st.f.ID) < c.lowWater() {
+		p.Marked = true
+	}
+	return true
+}
+
+func (c *CEIO) ingressFast(st *flowState, p *pkt.Packet) {
+	c.m.Trace(trace.KindFastPath, p.FlowID, p.Seq)
+	if !c.m.ReserveHostBuf(p) {
+		// Host buffer pool exhausted: un-admit and keep the packet in
+		// on-NIC memory instead of dropping it — the elastic buffer also
+		// absorbs host-side buffer shortage.
+		c.unadmit(st)
+		c.ingressSlow(st, p)
+		return
+	}
+	p.Path = pkt.PathFast
+	c.FastPackets++
+	st.fastInFlight++
+	c.m.DMAToHost(p, func() { c.fastLanded(st, p) })
+}
+
+// unadmit returns the credit taken by admit when the fast path could not
+// be used after all.
+func (c *CEIO) unadmit(st *flowState) {
+	if c.opt.MPQ != nil {
+		c.mpqReleaseOne()
+		return
+	}
+	c.ctrl.Release(st.f.ID, 1)
+}
+
+// lowWater is the credit balance below which fast-path packets carry
+// congestion marks (an eighth of the fair share, at least one buffer).
+func (c *CEIO) lowWater() int {
+	lw := c.ctrl.FairShare() / 8
+	if lw < 1 {
+		lw = 1
+	}
+	return lw
+}
+
+func (c *CEIO) fastLanded(st *flowState, p *pkt.Packet) {
+	st.fastInFlight--
+	if st.f.Kind == iosys.CPUBypass {
+		// CPU-bypass fast path: the memory controller retires the packet.
+		c.m.ConsumeBypass(st.f, p, nil)
+	} else {
+		if !st.sw.PushFast(p) {
+			panic("core: SW ring overflow on fast path (sizing bug)")
+		}
+	}
+	if st.fastInFlight == 0 {
+		c.flushWaitQ(st)
+	}
+}
+
+func (c *CEIO) ingressSlow(st *flowState, p *pkt.Packet) {
+	c.m.Trace(trace.KindSlowPath, p.FlowID, p.Seq)
+	p.Path = pkt.PathSlow
+	c.SlowPackets++
+	if st.mode == pkt.PathFast {
+		// Credits exhausted: update the steering rule so subsequent
+		// packets divert without consulting the controller.
+		st.mode = pkt.PathSlow
+		c.m.Steer.SetAction(st.f.ID, flowsteer.ActionSlowPath)
+		c.m.Trace(trace.KindModeSlow, st.f.ID, p.Seq)
+	}
+	// CCA trigger (§4.1 Q2): when the on-NIC backlog shows that network
+	// production outruns slow-path consumption, mark arriving packets so
+	// the sender's CCA converges to the slow path's drain capacity.
+	if st.onNIC >= c.opt.SlowMarkDepth {
+		p.Marked = true
+		c.SlowMarks++
+	}
+	bufBytes := int64(c.m.Cfg.IOBufSize)
+	if c.m.NICMemUsed+bufBytes > c.m.Cfg.NICMemBytes {
+		c.NICMemDrops++
+		c.m.Drop(st.f, p)
+		return
+	}
+	c.m.NICMemUsed += bufBytes
+	st.onNIC++
+	if st.f.Kind == iosys.CPUInvolved {
+		st.slowUnpushed++
+	}
+	// Write into on-NIC DRAM.
+	c.m.NICMem.Submit(p.Size, func() { c.slowArrived(st, p) })
+}
+
+func (c *CEIO) slowArrived(st *flowState, p *pkt.Packet) {
+	if st.f.Kind == iosys.CPUBypass {
+		// Event-driven drain on the NIC cores (§4.1 Q2): keep ReadAhead
+		// DMA reads outstanding without any host CPU involvement.
+		st.waitQ = append(st.waitQ, p)
+		c.drainBypass(st)
+		return
+	}
+	st.waitQ = append(st.waitQ, p)
+	if st.fastInFlight == 0 {
+		c.flushWaitQ(st)
+	}
+}
+
+// flushWaitQ moves on-NIC packets into the software ring as unready slow
+// entries. Ordering: only when no earlier fast-path packet is still in
+// flight (phase exclusivity keeps ring order equal to arrival order).
+// Slow entries occupy at most half the ring so fast-path pushes can
+// never fail.
+func (c *CEIO) flushWaitQ(st *flowState) {
+	if st.f.Kind == iosys.CPUBypass {
+		return
+	}
+	for len(st.waitQ) > 0 && st.fastInFlight == 0 && st.sw.Len() < st.sw.Cap()/2 {
+		p := st.waitQ[0]
+		if _, ok := st.sw.PushSlow(p); !ok {
+			break
+		}
+		st.waitQ = st.waitQ[1:]
+		st.slowUnpushed--
+	}
+	c.maybeResumeFast(st)
+}
+
+// issueReads starts asynchronous DMA reads for unready slow entries, up
+// to the read-ahead window (§4.2's async_recv overlap).
+func (c *CEIO) issueReads(st *flowState) {
+	budget := c.opt.ReadAhead - st.readsInFlight
+	if budget <= 0 {
+		return
+	}
+	for _, idx := range st.sw.PendingSlow(budget + st.readsInFlight) {
+		if budget == 0 {
+			break
+		}
+		e := st.sw.At(idx)
+		if e.Pkt == nil || e.Ready {
+			continue
+		}
+		if c.readStarted(st, e.Pkt) {
+			idx := idx
+			p := e.Pkt
+			if !c.issueRead(st, p, func() { st.sw.MarkReady(idx) }) {
+				p.Landed = false // host pool exhausted: retry on a later poll
+				return
+			}
+			budget--
+		}
+	}
+}
+
+// readStarted marks a packet's read as issued exactly once, using the
+// Landed flag as the "read in progress or done" indicator for slow-path
+// packets.
+func (c *CEIO) readStarted(st *flowState, p *pkt.Packet) bool {
+	if p.Landed {
+		return false
+	}
+	p.Landed = true
+	return true
+}
+
+// issueRead performs one slow-path DMA read: on-NIC DRAM access (behind
+// the internal PCIe switch) plus the PCIe round trip, then the host-side
+// commit. then runs on completion. It reports false when no host buffer
+// was available to land the data (the caller retries later).
+func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, then func()) bool {
+	if !c.m.ReserveHostBuf(p) {
+		return false
+	}
+	st.readsInFlight++
+	c.m.Trace(trace.KindReadIssued, p.FlowID, p.Seq)
+	device := c.m.Cfg.NICMemLatency + c.m.NICMem.QueueDelay()
+	c.m.NICMem.Submit(p.Size, nil) // on-NIC DRAM read bandwidth
+	c.m.DMA.Read(p.Size, device, func() {
+		c.m.Uncore.Submit(p.Size, nil) // host-side landing
+		c.m.HostBufLanded(p)
+		st.readsInFlight--
+		st.onNIC--
+		c.m.NICMemUsed -= int64(c.m.Cfg.IOBufSize)
+		then()
+		c.maybeResumeFast(st)
+	})
+	return true
+}
+
+// drainBypass keeps the event-driven drain loop running for CPU-bypass
+// flows. Without the async-drain optimisation the NIC cores fetch one
+// packet at a time (Table 4's "w/o optimization" configuration).
+func (c *CEIO) drainBypass(st *flowState) {
+	limit := c.opt.ReadAhead
+	if !c.opt.AsyncDrain {
+		limit = 1
+	}
+	for st.readsInFlight < limit && len(st.waitQ) > 0 {
+		p := st.waitQ[0]
+		ok := c.issueRead(st, p, func() {
+			// Data landed in host DRAM; the consumer's post-processing
+			// passes (replication/logging) gate delivery, then the drain
+			// continues.
+			c.m.Mem.BulkMove(p.Size*(1+st.f.PostPasses), func() {
+				c.m.Deliver(st.f, p)
+				c.drainBypass(st)
+			})
+		})
+		if !ok {
+			// Host pool exhausted: hold the queue and retry shortly
+			// (bypass drains are event-driven, with no poll loop to
+			// retry them).
+			c.m.Eng.After(c.m.Cfg.PollInterval*16, func() { c.drainBypass(st) })
+			return
+		}
+		st.waitQ = st.waitQ[1:]
+	}
+}
+
+// Poll implements the CEIO driver's recv()/async_recv() path (§5): flush
+// arrivals into the software ring, overlap slow-path DMA reads with
+// application processing, and return ready packets in order.
+func (c *CEIO) Poll(f *iosys.Flow, max int) []*pkt.Packet {
+	st, ok := f.DP.(*flowState)
+	if !ok || st == nil {
+		return nil
+	}
+	c.flushWaitQ(st)
+	if c.opt.AsyncDrain {
+		c.issueReads(st)
+	} else {
+		// Synchronous access: fetch only when the consumer is blocked on
+		// the head entry, one read at a time (the §4.2 strawman).
+		if head := st.sw.PeekHead(); head != nil && head.Slow && !head.Ready && st.readsInFlight == 0 {
+			if c.readStarted(st, head.Pkt) {
+				idx := st.sw.PendingSlow(1)
+				if len(idx) == 1 {
+					i := idx[0]
+					if !c.issueRead(st, head.Pkt, func() { st.sw.MarkReady(i) }) {
+						head.Pkt.Landed = false
+					}
+				}
+			}
+		}
+	}
+	var out []*pkt.Packet
+	for len(out) < max {
+		p := st.sw.PopReady()
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// OnDelivered performs lazy credit release: when the application finishes
+// a message batch (MsgEnd), the fast-path credits its packets consumed
+// return to the flow — and debts from Algorithm 1 are settled.
+func (c *CEIO) OnDelivered(f *iosys.Flow, p *pkt.Packet) {
+	st, ok := f.DP.(*flowState)
+	if !ok || st == nil {
+		return
+	}
+	if p.Path == pkt.PathFast {
+		switch {
+		case c.opt.MPQ != nil:
+			c.mpqReleaseOne()
+			c.maybeResumeFast(st)
+		case c.opt.LazyRelease:
+			st.unreleased++
+		default:
+			c.ctrl.Release(f.ID, 1)
+			c.maybeResumeFast(st)
+		}
+	}
+	if c.opt.MPQ == nil && c.opt.LazyRelease && p.MsgEnd && st.unreleased > 0 {
+		c.ctrl.Release(f.ID, st.unreleased)
+		st.unreleased = 0
+		c.maybeResumeFast(st)
+	}
+}
+
+// maybeResumeFast re-enables the fast path once the slow path has fully
+// drained and the flow holds credits again (the phase-exclusivity rule of
+// §4.2 that keeps the SW ring ordered).
+func (c *CEIO) maybeResumeFast(st *flowState) {
+	if st.mode != pkt.PathSlow || c.opt.ForceSlowPath {
+		return
+	}
+	if st.f.Kind == iosys.CPUInvolved {
+		// The fast path may resume as soon as every slow packet occupies
+		// its SW-ring slot: the ring is strict FIFO, so later fast-path
+		// packets (pushed at DMA completion) cannot overtake them. This
+		// is the phase-exclusivity rule of §4.2, applied at the ring
+		// boundary rather than waiting for the physical drain to finish.
+		if st.slowUnpushed != 0 || len(st.waitQ) != 0 {
+			return
+		}
+	} else {
+		// CPU-bypass packets have no ordering ring: resume once every
+		// on-NIC packet has its drain read committed to the pipeline.
+		if st.onNIC != st.readsInFlight || len(st.waitQ) != 0 {
+			return
+		}
+	}
+	if c.opt.MPQ != nil {
+		if c.ctrl.Total()-c.mpqInUse == 0 {
+			return
+		}
+	} else if c.ctrl.Available(st.f.ID) == 0 {
+		// Resuming without credits would demote again on the next packet,
+		// thrashing the steering rule; wait for a release or grant.
+		return
+	}
+	st.mode = pkt.PathFast
+	c.m.Steer.SetAction(st.f.ID, flowsteer.ActionFastPath)
+	c.m.Trace(trace.KindModeFast, st.f.ID, 0)
+	c.Drains++
+}
+
+// scanActiveFlows implements the active-flow strategy (§4.1 Q3): recycle
+// credits from inactive flows and from flows stuck on the slow path, then
+// top active fast-path flows back up toward their fair share.
+func (c *CEIO) scanActiveFlows() {
+	active := make(map[int]bool, len(c.flows))
+	for _, st := range c.flows {
+		delivered := st.f.DeliveredCount()
+		generated := st.f.Generated
+		idle := delivered == st.deliveredAtScan && generated == st.generatedAtScan
+		st.deliveredAtScan = delivered
+		st.generatedAtScan = generated
+		if idle {
+			st.idleScans++
+		} else {
+			st.idleScans = 0
+		}
+		inactive := st.idleScans >= c.opt.InactiveScans
+		switch {
+		case inactive:
+			// Long-idle flows hold no credits at all (the paper's coarse
+			// inactivity timer, scaled).
+			c.ctrl.Recycle(st.f.ID)
+		case st.mode == pkt.PathSlow:
+			active[st.f.ID] = true
+			// Slow-path flows (more likely CPU-bypass) donate everything
+			// above a small reserve kept for their return to the fast
+			// path; the round-robin timer guarantees they come back.
+			if extra := c.ctrl.Available(st.f.ID) - c.opt.ReactivateQuota; extra > 0 {
+				c.ctrl.Take(st.f.ID, extra)
+			}
+		default:
+			active[st.f.ID] = true
+		}
+	}
+	// Top active fast-path flows up toward their fair share — computed
+	// over *active* flows, so credits recycled from thousands of idle
+	// queue pairs concentrate on the flows that carry traffic — then give
+	// active slow-path flows their reserve quota.
+	share := c.ctrl.Total()
+	if n := len(active); n > 0 {
+		share = c.ctrl.Total() / n
+	}
+	for _, id := range c.ctrl.FlowIDs() {
+		st := c.flows[id]
+		if st == nil || !active[id] || st.mode != pkt.PathFast {
+			continue
+		}
+		if have := c.ctrl.Available(id); have < share {
+			c.ctrl.Grant(id, share-have)
+		}
+	}
+	for _, id := range c.ctrl.FlowIDs() {
+		st := c.flows[id]
+		if st == nil || !active[id] || st.mode != pkt.PathSlow {
+			continue
+		}
+		if have := c.ctrl.Available(id); have < c.opt.ReactivateQuota {
+			c.ctrl.Grant(id, c.opt.ReactivateQuota-have)
+		}
+	}
+}
+
+// reactivateRoundRobin is the backup fairness timer: it periodically
+// grants a quota to the next slow-path flow so every flow gets an
+// opportunity to return to the fast path.
+func (c *CEIO) reactivateRoundRobin() {
+	ids := c.ctrl.FlowIDs()
+	if len(ids) == 0 {
+		return
+	}
+	for i := 0; i < len(ids); i++ {
+		c.rrCursor = (c.rrCursor + 1) % len(ids)
+		st := c.flows[ids[c.rrCursor]]
+		if st == nil || st.mode != pkt.PathSlow {
+			continue
+		}
+		c.ctrl.Grant(st.f.ID, c.opt.ReactivateQuota)
+		c.maybeResumeFast(st)
+		return
+	}
+}
+
+var _ iosys.Datapath = (*CEIO)(nil)
+
+// DebugFlow returns a one-line summary of a flow's elastic state
+// (diagnostics and tests).
+func (c *CEIO) DebugFlow(id int) string {
+	st := c.flows[id]
+	if st == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("mode=%v onNIC=%d waitQ=%d reads=%d swLen=%d unreleased=%d",
+		st.mode, st.onNIC, len(st.waitQ), st.readsInFlight, st.sw.Len(), st.unreleased)
+}

@@ -1,0 +1,323 @@
+// Package core implements CEIO, the paper's primary contribution: a
+// NIC-resident I/O manager combining proactive, credit-based flow control
+// (§4.1) with elastic on-NIC buffering (§4.2), exposed to hosts through
+// Recv/AsyncRecv-style driver APIs (§5).
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FlowCredits is the controller's per-flow account.
+type FlowCredits struct {
+	ID int
+	// Available credits may be consumed by arriving packets.
+	Available int
+	// InUse credits are held by in-flight fast-path packets and return
+	// via lazy release when the host finishes a message batch.
+	InUse int
+	// Owes records IOUs created by Algorithm 1 when this flow lacked
+	// sufficient available credits at reallocation time (the paper's set
+	// I and o_j^i bookkeeping): creditor flow ID -> credits owed. Debts
+	// are settled first out of this flow's released credits.
+	Owes map[int]int
+}
+
+// InDebt reports whether the flow still owes credits (member of I).
+func (f *FlowCredits) InDebt() bool { return len(f.Owes) > 0 }
+
+// CreditController implements the credit management strategy of
+// Algorithm 1. The total credit count corresponds to the LLC capacity
+// (C_total = Size_LLC / Size_buf, Eq. 1); a packet that cannot obtain a
+// credit is diverted to the slow path by the flow controller.
+//
+// Invariant: pool + Σ_flows (Available + InUse) == total, always.
+// IOUs are promises against future releases and carry no credits.
+type CreditController struct {
+	total int
+	pool  int
+	flows map[int]*FlowCredits
+	order []int // insertion order for deterministic distribution
+
+	// Statistics.
+	Consumed  uint64
+	Rejected  uint64
+	Released  uint64
+	DebtsPaid uint64
+	Reallocs  uint64
+}
+
+// NewCreditController creates a controller holding total credits in its
+// unassigned pool.
+func NewCreditController(total int) *CreditController {
+	if total <= 0 {
+		panic("core: total credits must be positive")
+	}
+	return &CreditController{total: total, pool: total, flows: make(map[int]*FlowCredits)}
+}
+
+// Total returns C_total.
+func (c *CreditController) Total() int { return c.total }
+
+// Pool returns currently unassigned credits.
+func (c *CreditController) Pool() int { return c.pool }
+
+// Flow returns the account for id, or nil.
+func (c *CreditController) Flow(id int) *FlowCredits { return c.flows[id] }
+
+// Available returns the flow's spendable credits (0 for unknown flows).
+func (c *CreditController) Available(id int) int {
+	if f := c.flows[id]; f != nil {
+		return f.Available
+	}
+	return 0
+}
+
+// AddFlows runs the credit assignment of Algorithm 1 for m newly arrived
+// flows against the n existing ones: each new flow is targeted at
+// C_flow = C_total/(n+m) credits, funded first from the unassigned pool
+// and then by equal contributions from existing flows. An existing flow
+// whose available credits cannot cover its contribution (its credits are
+// InUse by in-flight packets) enters the debtor set: it gives what it has
+// and records IOUs (o_j^i) settled during future releases — this is what
+// prevents starvation of newly arrived flows (lines 8-14 of Algorithm 1).
+func (c *CreditController) AddFlows(ids ...int) {
+	m := len(ids)
+	if m == 0 {
+		return
+	}
+	existing := append([]int(nil), c.order...)
+	newFlows := make([]*FlowCredits, 0, m)
+	for _, id := range ids {
+		if _, dup := c.flows[id]; dup {
+			panic(fmt.Sprintf("core: duplicate flow %d", id))
+		}
+		f := &FlowCredits{ID: id, Owes: make(map[int]int)}
+		c.flows[id] = f
+		c.order = append(c.order, id)
+		newFlows = append(newFlows, f)
+	}
+	cflow := c.total / len(c.order)
+	need := make([]int, m)
+	totalNeed := 0
+	for k := range need {
+		need[k] = cflow
+		totalNeed += cflow
+	}
+
+	// Fund from the pool first.
+	fill := func(amount int) int { // distribute amount across unmet needs
+		given := 0
+		for k := range need {
+			if amount == 0 {
+				break
+			}
+			g := min(need[k], amount)
+			newFlows[k].Available += g
+			need[k] -= g
+			amount -= g
+			given += g
+		}
+		return given
+	}
+	fromPool := min(c.pool, totalNeed)
+	c.pool -= fill(fromPool)
+
+	remaining := 0
+	for _, v := range need {
+		remaining += v
+	}
+	if remaining == 0 || len(existing) == 0 {
+		return
+	}
+
+	// Equal contributions from existing flows (remainder spread over the
+	// first flows in insertion order).
+	quota := remaining / len(existing)
+	extra := remaining % len(existing)
+	for idx, id := range existing {
+		q := quota
+		if idx < extra {
+			q++
+		}
+		if q == 0 {
+			continue
+		}
+		e := c.flows[id]
+		give := min(e.Available, q)
+		e.Available -= give
+		fill(give)
+		if deficit := q - give; deficit > 0 {
+			// Record IOUs toward new flows that are still under target.
+			for k := range need {
+				if deficit == 0 {
+					break
+				}
+				if need[k] == 0 {
+					continue
+				}
+				d := min(need[k], deficit)
+				e.Owes[newFlows[k].ID] += d
+				need[k] -= d
+				deficit -= d
+			}
+			c.Reallocs++
+		}
+	}
+}
+
+// RemoveFlow returns the flow's credits (including those still in use by
+// draining packets) to the pool and cancels its debts. Debts other flows
+// owe to it are redirected to the pool when paid.
+func (c *CreditController) RemoveFlow(id int) {
+	f, ok := c.flows[id]
+	if !ok {
+		return
+	}
+	c.pool += f.Available + f.InUse
+	delete(c.flows, id)
+	for i, v := range c.order {
+		if v == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Consume attempts to take one credit for an arriving packet. Failure
+// means the flow controller must steer the packet to the slow path.
+func (c *CreditController) Consume(id int) bool {
+	f := c.flows[id]
+	if f == nil || f.Available == 0 {
+		c.Rejected++
+		return false
+	}
+	f.Available--
+	f.InUse++
+	c.Consumed++
+	return true
+}
+
+// Release is the lazy credit release (§4.1/§4.2): the CEIO driver calls
+// it when the application's head pointer advances past a processed
+// message batch, returning n credits. Debts from Algorithm 1 are settled
+// first, in ascending creditor-ID order for determinism; the remainder
+// returns to the flow.
+func (c *CreditController) Release(id, n int) {
+	if n <= 0 {
+		return
+	}
+	f := c.flows[id]
+	if f == nil {
+		// Flow already torn down: RemoveFlow reclaimed its in-use credits,
+		// so a straggling release must not refund them twice.
+		return
+	}
+	if n > f.InUse {
+		panic(fmt.Sprintf("core: flow %d releasing %d credits with only %d in use", id, n, f.InUse))
+	}
+	f.InUse -= n
+	c.Released += uint64(n)
+	remaining := n
+	if f.InDebt() {
+		creditors := make([]int, 0, len(f.Owes))
+		for cid := range f.Owes {
+			creditors = append(creditors, cid)
+		}
+		sort.Ints(creditors)
+		for _, cid := range creditors {
+			if remaining == 0 {
+				break
+			}
+			pay := min(f.Owes[cid], remaining)
+			if cr := c.flows[cid]; cr != nil {
+				cr.Available += pay
+			} else {
+				c.pool += pay
+			}
+			remaining -= pay
+			c.DebtsPaid += uint64(pay)
+			if f.Owes[cid] == pay {
+				delete(f.Owes, cid)
+			} else {
+				f.Owes[cid] -= pay
+			}
+		}
+	}
+	f.Available += remaining
+}
+
+// Recycle implements the active-flow strategy's reclamation (§4.1 Q3):
+// an inactive flow's available credits return to the pool for
+// reallocation. It returns the number recycled.
+func (c *CreditController) Recycle(id int) int {
+	f := c.flows[id]
+	if f == nil {
+		return 0
+	}
+	n := f.Available
+	f.Available = 0
+	c.pool += n
+	return n
+}
+
+// Take moves up to n of the flow's available credits back to the pool
+// (partial recycle) and returns the amount taken.
+func (c *CreditController) Take(id, n int) int {
+	f := c.flows[id]
+	if f == nil || n <= 0 {
+		return 0
+	}
+	t := min(f.Available, n)
+	f.Available -= t
+	c.pool += t
+	return t
+}
+
+// Grant moves up to max credits from the pool to the flow and returns the
+// amount granted.
+func (c *CreditController) Grant(id, max int) int {
+	f := c.flows[id]
+	if f == nil || max <= 0 {
+		return 0
+	}
+	g := min(c.pool, max)
+	c.pool -= g
+	f.Available += g
+	return g
+}
+
+// FairShare returns C_total divided by the current flow count (C_flow of
+// Eq. 2), or C_total when no flows exist.
+func (c *CreditController) FairShare() int {
+	if len(c.order) == 0 {
+		return c.total
+	}
+	return c.total / len(c.order)
+}
+
+// FlowIDs returns flows in insertion order (copy).
+func (c *CreditController) FlowIDs() []int { return append([]int(nil), c.order...) }
+
+// CheckInvariant verifies credit conservation.
+func (c *CreditController) CheckInvariant() error {
+	sum := c.pool
+	for _, f := range c.flows {
+		if f.Available < 0 || f.InUse < 0 {
+			return fmt.Errorf("flow %d negative account: avail=%d inuse=%d", f.ID, f.Available, f.InUse)
+		}
+		sum += f.Available + f.InUse
+	}
+	if sum != c.total {
+		return fmt.Errorf("credit leak: sum=%d total=%d", sum, c.total)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

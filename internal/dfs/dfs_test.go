@@ -1,0 +1,113 @@
+package dfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndWrite(t *testing.T) {
+	s := NewServer()
+	f, err := s.Create("a", 1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("a", 10, 1); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	fresh, done, err := s.WriteChunk("a", 0, 500)
+	if err != nil || fresh != 500 || done {
+		t.Fatalf("first chunk: %d %v %v", fresh, done, err)
+	}
+	fresh, done, err = s.WriteChunk("a", 500, 500)
+	if err != nil || fresh != 500 || !done {
+		t.Fatalf("final chunk: %d %v %v", fresh, done, err)
+	}
+	if !f.Complete() || f.Received() != 1000 {
+		t.Fatalf("file state: complete=%v received=%d", f.Complete(), f.Received())
+	}
+	if s.Completed != 1 {
+		t.Fatalf("completed = %d", s.Completed)
+	}
+}
+
+func TestDuplicateAndOverlap(t *testing.T) {
+	s := NewServer()
+	s.Create("a", 100, 1)
+	s.WriteChunk("a", 0, 50)
+	fresh, _, _ := s.WriteChunk("a", 0, 50) // exact duplicate
+	if fresh != 0 || s.Duplicates != 1 {
+		t.Fatalf("duplicate: fresh=%d dups=%d", fresh, s.Duplicates)
+	}
+	fresh, _, _ = s.WriteChunk("a", 25, 50) // half overlap
+	if fresh != 25 {
+		t.Fatalf("overlap fresh = %d, want 25", fresh)
+	}
+	if f := s.File("a"); f.Received() != 75 {
+		t.Fatalf("received = %d", f.Received())
+	}
+}
+
+func TestOutOfOrderChunks(t *testing.T) {
+	s := NewServer()
+	s.Create("a", 300, 1)
+	for _, off := range []int64{200, 0, 100} {
+		s.WriteChunk("a", off, 100)
+	}
+	if !s.File("a").Complete() {
+		t.Fatal("out-of-order chunks should complete the file")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	s := NewServer()
+	s.Create("a", 100, 1)
+	if _, _, err := s.WriteChunk("nope", 0, 10); err == nil {
+		t.Fatal("unknown file")
+	}
+	if _, _, err := s.WriteChunk("a", -1, 10); err == nil {
+		t.Fatal("negative offset")
+	}
+	if _, _, err := s.WriteChunk("a", 0, 0); err == nil {
+		t.Fatal("zero length")
+	}
+	if _, _, err := s.WriteChunk("a", 95, 10); err == nil {
+		t.Fatal("beyond declared size")
+	}
+}
+
+func TestLogRing(t *testing.T) {
+	s := NewServer()
+	s.Create("a", 1<<30, 1)
+	for i := 0; i < logCapacity+100; i++ {
+		s.WriteChunk("a", int64(i)*10, 10)
+	}
+	if s.LogLen() != logCapacity {
+		t.Fatalf("log len = %d, want %d", s.LogLen(), logCapacity)
+	}
+}
+
+// Property: received bytes equal the size of the union of written
+// ranges, regardless of order and overlap.
+func TestExtentUnionProperty(t *testing.T) {
+	type chunk struct {
+		Off uint16
+		Len uint8
+	}
+	f := func(chunks []chunk) bool {
+		s := NewServer()
+		s.Create("f", 1<<20, 1)
+		covered := map[int64]bool{}
+		for _, c := range chunks {
+			n := int64(c.Len%64) + 1
+			off := int64(c.Off)
+			s.WriteChunk("f", off, n)
+			for b := off; b < off+n; b++ {
+				covered[b] = true
+			}
+		}
+		return s.File("f").Received() == int64(len(covered))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

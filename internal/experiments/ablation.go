@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ceio/internal/core"
+	"ceio/internal/iosys"
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+// Ablation studies the individual design choices DESIGN.md calls out,
+// beyond the paper's own Table 4 ablation:
+//
+//   - lazy vs eager credit release (§4.1's design choice)
+//   - the PIAS-style MPQ scheduler §4.1 considers and rejects
+//   - asynchronous vs synchronous slow-path access (§4.2)
+//   - credit reallocation on/off (§4.1 Q3)
+func Ablation(cfg Config) Table {
+	tb := Table{
+		Title:  "Ablation — CEIO design choices on the 1:1 mixed workload",
+		Header: []string{"variant", "involved Mpps", "involved P99 (µs)", "fast-path share", "LLC miss"},
+		Note:   "Lazy release demotes large-message CPU-bypass flows to the slow path; the MPQ strawman decays continuous RPC flows to low priority instead (§4.1); async drain overlaps PCIe reads with processing.",
+	}
+	mix := mixRatio{"1:1", 4, 4}
+	mpqCfg := core.DefaultMPQConfig()
+	variants := []struct {
+		name string
+		mod  func(*core.Options)
+	}{
+		{"full CEIO (lazy release)", func(o *core.Options) {}},
+		{"eager credit release", func(o *core.Options) { o.LazyRelease = false }},
+		{"MPQ scheduler (PIAS strawman)", func(o *core.Options) { o.MPQ = &mpqCfg }},
+		{"synchronous slow-path access", func(o *core.Options) { o.AsyncDrain = false }},
+		{"no credit reallocation", func(o *core.Options) { o.CreditRealloc = false }},
+		{"no optimizations", func(o *core.Options) { o.AsyncDrain = false; o.CreditRealloc = false }},
+	}
+	for _, v := range variants {
+		opts := core.DefaultOptions()
+		v.mod(&opts)
+		dp := core.New(opts)
+		res := runMixedWith(cfg, dp, mix)
+		share := "-"
+		if t := dp.FastPackets + dp.SlowPackets; t > 0 {
+			share = pct(float64(dp.FastPackets) / float64(t))
+		}
+		tb.Rows = append(tb.Rows, []string{v.name, f2(res.involvedMpps), us(res.involvedP99), share, pct(res.missRate)})
+	}
+	return tb
+}
+
+type mixedResult struct {
+	involvedMpps float64
+	involvedP99  int64
+	missRate     float64
+}
+
+func runMixedWith(cfg Config, dp iosys.Datapath, mix mixRatio) mixedResult {
+	m := iosys.NewMachine(cfg.Machine, dp)
+	id := 1
+	for i := 0; i < mix.involved; i++ {
+		m.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+	}
+	for i := 0; i < mix.bypass; i++ {
+		m.AddFlow(workload.LineFS(id, 1024, 1024))
+		id++
+	}
+	measureWindow(m, cfg.Warmup, cfg.Measure)
+	var res mixedResult
+	res.involvedMpps = m.InvolvedMeter.Mpps(m.Eng.Now())
+	res.missRate = m.LLC.MissRate()
+	for fid, f := range m.Flows {
+		if fid <= mix.involved {
+			if v := f.Latency.P99(); v > res.involvedP99 {
+				res.involvedP99 = v
+			}
+		}
+	}
+	return res
+}
+
+// SlowPathAblation evaluates the future-work direction §6.4 suggests:
+// implementing CEIO's slow path over CPU-attached/on-NIC SRAM instead of
+// the BlueField-3's on-board DRAM behind its internal PCIe switch, which
+// the paper identifies as the source of the slow path's latency penalty.
+func SlowPathAblation(cfg Config) Table {
+	tb := Table{
+		Title:  "Slow-path substrate ablation — forced slow path, single flow (future work, §6.4)",
+		Header: []string{"msg size", "BF-3 on-NIC DRAM Gbps", "P50 µs", "NIC SRAM Gbps", "P50 µs"},
+		Note:   "The paper attributes the slow path's penalty to the internal PCIe switch and on-NIC DRAM; SRAM removes most of both.",
+	}
+	sizes := []int{512, 4096}
+	if !cfg.Quick {
+		sizes = []int{64, 512, 4096, 16384}
+	}
+	sram := cfg
+	sram.Machine.NICMemLatency = 60 * sim.Nanosecond // no internal switch hop
+	sram.Machine.NICMemBandwidth = 100e9
+	for _, size := range sizes {
+		dram := runPath(cfg, workload.MethodCEIOSlowPath, size, 0)
+		fast := runPath(sram, workload.MethodCEIOSlowPath, size, 0)
+		tb.Rows = append(tb.Rows, []string{
+			fmt.Sprintf("%dB", size),
+			f2(dram.Gbps), us(dram.P50),
+			f2(fast.Gbps), us(fast.P50),
+		})
+	}
+	return tb
+}
+
+// All runs every experiment and returns the tables in paper order.
+func All(cfg Config) []Table {
+	var out []Table
+	out = append(out, Fig4(cfg)...)
+	out = append(out, Fig9(cfg)...)
+	out = append(out, Fig10(cfg)...)
+	out = append(out, Fig11(cfg))
+	out = append(out, Fig12(cfg))
+	out = append(out, Table2(cfg))
+	out = append(out, Table3(cfg))
+	out = append(out, Table4(cfg))
+	out = append(out, Limits(cfg)...)
+	out = append(out, Ablation(cfg))
+	out = append(out, SlowPathAblation(cfg))
+	out = append(out, Burstiness(cfg))
+	return out
+}
+
+// ByName resolves an experiment by CLI name.
+func ByName(name string, cfg Config) ([]Table, bool) {
+	switch name {
+	case "fig4", "fig4a", "fig4b":
+		return Fig4(cfg), true
+	case "fig9":
+		return Fig9(cfg), true
+	case "fig10":
+		return Fig10(cfg), true
+	case "fig11":
+		return []Table{Fig11(cfg)}, true
+	case "fig12":
+		return []Table{Fig12(cfg)}, true
+	case "table2":
+		return []Table{Table2(cfg)}, true
+	case "table3":
+		return []Table{Table3(cfg)}, true
+	case "table4":
+		return []Table{Table4(cfg)}, true
+	case "limits":
+		return Limits(cfg), true
+	case "ablation":
+		return []Table{Ablation(cfg), SlowPathAblation(cfg)}, true
+	case "burst":
+		return []Table{Burstiness(cfg)}, true
+	case "all":
+		return All(cfg), true
+	}
+	return nil, false
+}
+
+// Names lists the experiment identifiers ByName accepts.
+func Names() []string {
+	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "all"}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ceio/internal/workload"
+)
+
+// fig4Methods are the motivation experiment's methods (no CEIO yet).
+var fig4Methods = []workload.Method{workload.MethodBaseline, workload.MethodHostCC, workload.MethodShRing}
+
+// fig10Methods add CEIO for the end-to-end comparison.
+var fig10Methods = []workload.Method{workload.MethodBaseline, workload.MethodHostCC, workload.MethodShRing, workload.MethodCEIO}
+
+// dynamicTable runs one dynamic scenario for the given methods and lays
+// out mean/worst CPU-involved throughput and the miss rate, alongside the
+// "expected performance" reference the paper computes from the number of
+// CPU-involved flows and the single-core miss-free throughput.
+func dynamicTable(cfg Config, title string, burst bool, methods []workload.Method) Table {
+	tb := Table{
+		Title:  title,
+		Header: []string{"method", "mean Mpps", "worst interval Mpps", "LLC miss"},
+	}
+	// Expected line: with 8 CPU-involved flows sustained (the scenarios
+	// keep 8 involved on average at their start).
+	expected := workload.ExpectedMpps(cfg.Machine, 8)
+	tb.Note = fmt.Sprintf("Expected performance with 8 involved flows and infinite LLC: %.2f Mpps.", expected)
+	for _, me := range methods {
+		var res workload.DynamicResult
+		if burst {
+			res = workload.RunNetworkBurst(me, cfg.Machine, cfg.Scenario)
+		} else {
+			res = workload.RunDynamicDistribution(me, cfg.Machine, cfg.Scenario)
+		}
+		tb.Rows = append(tb.Rows, []string{
+			string(me), f2(res.InvolvedMpps), f2(res.WorstMpps), pct(res.MissRate),
+		})
+	}
+	return tb
+}
+
+// Fig4 reproduces Figure 4, the motivation experiment: the fundamental
+// limitations of HostCC (slow response) and ShRing (fixed buffer) under
+// (a) dynamic flow distribution and (b) network burst.
+func Fig4(cfg Config) []Table {
+	return []Table{
+		dynamicTable(cfg, "Figure 4a — I/O degradation under dynamic flow distribution (motivation)", false, fig4Methods),
+		dynamicTable(cfg, "Figure 4b — I/O degradation under network burst (motivation)", true, fig4Methods),
+	}
+}
+
+// Fig10 reproduces Figure 10: the same dynamic scenarios including CEIO,
+// which avoids both limitations (paper: up to 2.0x / 2.9x speedup).
+func Fig10(cfg Config) []Table {
+	return []Table{
+		dynamicTable(cfg, "Figure 10a — I/O performance in dynamic flow distribution", false, fig10Methods),
+		dynamicTable(cfg, "Figure 10b — I/O performance in network burst", true, fig10Methods),
+	}
+}
+
+// Fig10Series returns the sampled time series behind Figure 10a for one
+// method (used by ceio-trace to dump plottable CSV).
+func Fig10Series(cfg Config, method workload.Method, burst bool) workload.DynamicResult {
+	if burst {
+		return workload.RunNetworkBurst(method, cfg.Machine, cfg.Scenario)
+	}
+	return workload.RunDynamicDistribution(method, cfg.Machine, cfg.Scenario)
+}

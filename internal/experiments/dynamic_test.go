@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+// tinyConfig shrinks the dynamic scenario far below QuickConfig for unit
+// testing the runners themselves.
+func tinyConfig() Config {
+	c := QuickConfig()
+	c.Scenario = workload.ScenarioConfig{
+		Epoch:  2 * sim.Millisecond,
+		Epochs: 2,
+		Warmup: 1 * sim.Millisecond,
+		Sample: 250 * sim.Microsecond,
+	}
+	return c
+}
+
+func TestDynamicTableStructure(t *testing.T) {
+	tb := dynamicTable(tinyConfig(), "t", false, []workload.Method{workload.MethodCEIO})
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "CEIO" {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+	if tb.Note == "" {
+		t.Fatal("expected the expected-performance note")
+	}
+}
+
+func TestFig10SeriesProducesSamples(t *testing.T) {
+	res := Fig10Series(tinyConfig(), workload.MethodCEIO, false)
+	if len(res.Series.InvolvedMpps.Points) == 0 {
+		t.Fatal("no sampled points")
+	}
+	resB := Fig10Series(tinyConfig(), workload.MethodBaseline, true)
+	if len(resB.Series.MissRate.Points) == 0 {
+		t.Fatal("no miss-rate points for burst scenario")
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ceio/internal/iosys"
+	"ceio/internal/workload"
+)
+
+// mixRatio describes a Table 4 row: CPU-involved vs CPU-bypass flows
+// among 8 total.
+type mixRatio struct {
+	label    string
+	involved int
+	bypass   int
+}
+
+var table4Ratios = []mixRatio{
+	{"3:1", 6, 2},
+	{"1:1", 4, 4},
+	{"1:3", 2, 6},
+}
+
+// runMixed measures a mixed-flow deployment (eRPC alongside LineFS,
+// §6.3 "Performance in Mixed I/O Flows"): the CPU-involved throughput the
+// paper reports plus the bypass goodput.
+func runMixed(cfg Config, method workload.Method, mix mixRatio) (involvedMpps, bypassGbps float64) {
+	m := iosys.NewMachine(cfg.Machine, workload.NewDatapath(method))
+	id := 1
+	for i := 0; i < mix.involved; i++ {
+		m.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+	}
+	for i := 0; i < mix.bypass; i++ {
+		m.AddFlow(workload.LineFS(id, 1024, 1024))
+		id++
+	}
+	measureWindow(m, cfg.Warmup, cfg.Measure)
+	now := m.Eng.Now()
+	return m.InvolvedMeter.Mpps(now), m.BypassMeter.Gbps(now)
+}
+
+// Table4 reproduces Table 4: throughput (Mpps) of CPU-involved flows and
+// CEIO's speedup with and without the fast/slow path optimisations
+// (credit reallocation and asynchronous drain), across involved:bypass
+// ratios. The bypass goodput column shows where the async-drain
+// optimisation lands in this model.
+func Table4(cfg Config) Table {
+	tb := Table{
+		Title:  "Table 4 — CPU-involved throughput (Mpps) on mixed I/O flows, 8 flows total",
+		Header: []string{"ratio", "Baseline", "CEIO w/o optimization", "CEIO", "bypass Gbps (w/o opt -> full)"},
+		Note:   "Paper: optimisations lift CEIO from 1.16-1.53x to 1.71-1.94x over the baseline.",
+	}
+	ratios := table4Ratios
+	if cfg.Quick {
+		ratios = table4Ratios[:2]
+	}
+	for _, mix := range ratios {
+		base, _ := runMixed(cfg, workload.MethodBaseline, mix)
+		noopt, nooptByp := runMixed(cfg, workload.MethodCEIONoOpt, mix)
+		full, fullByp := runMixed(cfg, workload.MethodCEIO, mix)
+		tb.Rows = append(tb.Rows, []string{
+			mix.label,
+			fmt.Sprintf("%s (-)", f2(base)),
+			speedup(noopt, base),
+			speedup(full, base),
+			fmt.Sprintf("%s -> %s", f2(nooptByp), f2(fullByp)),
+		})
+	}
+	return tb
+}

@@ -1,0 +1,147 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2.3 Fig. 4; §6.2 Fig. 9, Fig. 10, Table 2; §6.3 Fig. 11,
+// Fig. 12, Table 3, Table 4; §6.3 "limited benefit" scenarios), plus the
+// ablation studies of CEIO's individual design choices. Each runner
+// returns Tables whose rows mirror the series the paper reports.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"ceio/internal/iosys"
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+// Table is a renderable result table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table in aligned plain text.
+func (t Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// RenderCSV writes the table as CSV with a leading title comment, for
+// plotting pipelines.
+func (t Table) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Config controls experiment durations. Quick mode shrinks sweeps and
+// windows for use inside Go benchmarks; Full mode matches the defaults
+// used to produce EXPERIMENTS.md.
+type Config struct {
+	Machine  iosys.Config
+	Scenario workload.ScenarioConfig
+	Warmup   sim.Time // static-run warm-up
+	Measure  sim.Time // static-run measurement window
+	Quick    bool
+}
+
+// Default returns the full-length experiment configuration.
+func Default() Config {
+	return Config{
+		Machine:  iosys.DefaultConfig(),
+		Scenario: workload.DefaultScenarioConfig(),
+		Warmup:   10 * sim.Millisecond,
+		Measure:  25 * sim.Millisecond,
+	}
+}
+
+// QuickConfig returns a configuration small enough for `go test -bench`.
+func QuickConfig() Config {
+	c := Default()
+	c.Quick = true
+	c.Warmup = 3 * sim.Millisecond
+	c.Measure = 7 * sim.Millisecond
+	c.Scenario = workload.ScenarioConfig{
+		Epoch:  5 * sim.Millisecond,
+		Epochs: 3,
+		Warmup: 2 * sim.Millisecond,
+		Sample: 250 * sim.Microsecond,
+	}
+	return c
+}
+
+// measureWindow runs warm-up, resets counters, runs the measurement
+// window, and leaves the machine stopped at the window's end.
+func measureWindow(m *iosys.Machine, warmup, measure sim.Time) {
+	m.Run(m.Eng.Now() + warmup)
+	m.ResetWindow()
+	m.Run(m.Eng.Now() + measure)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func us(ns int64) string   { return fmt.Sprintf("%.2f", float64(ns)/1e3) }
+
+// speedup formats "v (x.yyx)" relative to base.
+func speedup(v, base float64) string {
+	if base <= 0 {
+		return f2(v)
+	}
+	return fmt.Sprintf("%s (%.2fx)", f2(v), v/base)
+}
+
+// reduction formats latency "v (down x.yyx)" relative to base.
+func reduction(v, base int64) string {
+	if v <= 0 {
+		return us(v)
+	}
+	return fmt.Sprintf("%s (↓ %.2fx)", us(v), float64(base)/float64(v))
+}

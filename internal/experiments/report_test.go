@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() Table {
+	return Table{
+		Title:  "Sample",
+		Note:   "a note",
+		Header: []string{"col a", "b"},
+		Rows:   [][]string{{"x", "1.00"}, {"longer cell", "2.00"}},
+	}
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== Sample ==", "a note", "col a", "longer cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line starts at the same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Sample\n") {
+		t.Fatalf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, "col a,b\n") || !strings.Contains(out, "longer cell,2.00\n") {
+		t.Fatalf("bad csv:\n%s", out)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if f2(1.234) != "1.23" {
+		t.Fatal("f2")
+	}
+	if pct(0.123) != "12.3%" {
+		t.Fatal("pct")
+	}
+	if us(1500) != "1.50" {
+		t.Fatal("us")
+	}
+	if speedup(2, 1) != "2.00 (2.00x)" {
+		t.Fatalf("speedup: %q", speedup(2, 1))
+	}
+	if speedup(2, 0) != "2.00" {
+		t.Fatal("speedup with zero base")
+	}
+	if got := reduction(500, 1000); !strings.Contains(got, "2.00x") {
+		t.Fatalf("reduction: %q", got)
+	}
+	if reduction(0, 10) != "0.00" {
+		t.Fatalf("reduction zero: %q", reduction(0, 10))
+	}
+	if ratio64(10, 0) != 0 || ratio64(10, 5) != 2 {
+		t.Fatal("ratio64")
+	}
+}
+
+func TestQuickConfigSmaller(t *testing.T) {
+	full, quick := Default(), QuickConfig()
+	if quick.Measure >= full.Measure || !quick.Quick {
+		t.Fatal("quick config should shrink windows")
+	}
+}

@@ -1,0 +1,134 @@
+// Package flowsteer models the NIC's reconfigurable match-action (RMT)
+// flow engine. CEIO's flow controller installs one steering rule per flow
+// at connection establishment and flips the rule's action between the fast
+// path (DMA to host via DDIO) and the slow path (DMA to on-NIC memory)
+// as credits are exhausted and replenished (§4.1). Rules carry hit
+// counters, which the on-NIC cores poll to track credit consumption.
+package flowsteer
+
+import "fmt"
+
+// Action is the verdict a steering rule applies to a matching packet.
+type Action uint8
+
+const (
+	// ActionFastPath DMAs the packet to host memory (legacy I/O).
+	ActionFastPath Action = iota
+	// ActionSlowPath DMAs the packet into on-NIC memory.
+	ActionSlowPath
+	// ActionDrop discards the packet (used for fault injection tests).
+	ActionDrop
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActionFastPath:
+		return "fast"
+	case ActionSlowPath:
+		return "slow"
+	default:
+		return "drop"
+	}
+}
+
+// Rule is one match-action entry. The match key is the flow ID (standing
+// in for the 5-tuple/queue-pair match of real hardware).
+type Rule struct {
+	FlowID int
+	Action Action
+	// Hits counts matched packets since installation; HitBytes the bytes.
+	Hits     uint64
+	HitBytes uint64
+}
+
+// Table is the steering flow table. Lookup cost in real RMT hardware is
+// constant; here it is a map access.
+type Table struct {
+	rules map[int]*Rule
+
+	// Default is applied to packets with no matching rule.
+	Default Action
+
+	// Statistics.
+	Lookups    uint64
+	MissCount  uint64
+	Updates    uint64
+	Installs   uint64
+	Uninstalls uint64
+}
+
+// NewTable creates an empty steering table with ActionFastPath default.
+func NewTable() *Table {
+	return &Table{rules: make(map[int]*Rule), Default: ActionFastPath}
+}
+
+// Install adds a rule for flowID. Installing over an existing rule resets
+// its counters (real hardware re-creates the entry).
+func (t *Table) Install(flowID int, a Action) *Rule {
+	r := &Rule{FlowID: flowID, Action: a}
+	t.rules[flowID] = r
+	t.Installs++
+	return r
+}
+
+// Uninstall removes the rule for flowID if present.
+func (t *Table) Uninstall(flowID int) {
+	if _, ok := t.rules[flowID]; ok {
+		delete(t.rules, flowID)
+		t.Uninstalls++
+	}
+}
+
+// SetAction updates the action field of an existing rule, as the CEIO flow
+// controller does when a flow exhausts its credits or its slow path
+// drains. It returns an error when the rule does not exist, which would
+// indicate a controller bug.
+func (t *Table) SetAction(flowID int, a Action) error {
+	r, ok := t.rules[flowID]
+	if !ok {
+		return fmt.Errorf("flowsteer: no rule for flow %d", flowID)
+	}
+	if r.Action != a {
+		r.Action = a
+		t.Updates++
+	}
+	return nil
+}
+
+// Lookup matches a packet of size bytes from flowID and returns the
+// action, updating the matched rule's hit counters.
+func (t *Table) Lookup(flowID, size int) Action {
+	t.Lookups++
+	r, ok := t.rules[flowID]
+	if !ok {
+		t.MissCount++
+		return t.Default
+	}
+	r.Hits++
+	r.HitBytes += uint64(size)
+	return r.Action
+}
+
+// Rule returns the rule for flowID, or nil.
+func (t *Table) Rule(flowID int) *Rule { return t.rules[flowID] }
+
+// Action returns the current action for flowID (Default when absent)
+// without counting a packet hit.
+func (t *Table) Action(flowID int) Action {
+	if r, ok := t.rules[flowID]; ok {
+		return r.Action
+	}
+	return t.Default
+}
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// FlowIDs returns all installed flow IDs (order unspecified).
+func (t *Table) FlowIDs() []int {
+	out := make([]int, 0, len(t.rules))
+	for id := range t.rules {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package iosys
+
+import (
+	"ceio/internal/sim"
+)
+
+// Core models one CPU core dedicated to a CPU-involved flow (the paper
+// pins one core per I/O flow, §2.3). It runs a DPDK-style polling loop:
+// ask the datapath driver for a batch, spend the modelled CPU time, hand
+// the packets to the application, repeat. An empty poll retries after the
+// configured poll interval.
+type Core struct {
+	m    *Machine
+	flow *Flow
+
+	running    bool
+	idleStreak int
+
+	// Statistics.
+	Polls      uint64
+	EmptyPolls uint64
+	Processed  uint64
+	BusyTime   sim.Time
+}
+
+// maxIdleBackoff caps the poll back-off for long-idle cores so thousands
+// of idle flows don't flood the event queue (the flow-scaling runs).
+const maxIdleBackoff = 128
+
+func newCore(m *Machine, f *Flow) *Core {
+	return &Core{m: m, flow: f}
+}
+
+func (c *Core) start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.m.Eng.After(0, c.loop)
+}
+
+func (c *Core) stop() { c.running = false }
+
+func (c *Core) loop() {
+	if !c.running {
+		return
+	}
+	c.Polls++
+	batch := c.m.DP.Poll(c.flow, c.m.Cfg.BatchSize)
+	if len(batch) == 0 {
+		c.EmptyPolls++
+		// Exponential back-off while idle: a busy core re-polls at the
+		// configured interval, a long-idle one at up to 128x that.
+		if c.idleStreak < maxIdleBackoff {
+			c.idleStreak += c.idleStreak + 1
+		}
+		backoff := c.idleStreak
+		if backoff > maxIdleBackoff {
+			backoff = maxIdleBackoff
+		}
+		c.m.Eng.After(c.m.Cfg.PollInterval*sim.Time(backoff), c.loop)
+		return
+	}
+	c.idleStreak = 0
+	var total sim.Time
+	for _, p := range batch {
+		total += c.m.PacketCPUCost(c.flow, p)
+	}
+	c.m.Eng.After(total, func() {
+		c.BusyTime += total
+		for _, p := range batch {
+			c.Processed++
+			c.m.Deliver(c.flow, p)
+		}
+		c.loop()
+	})
+}
+
+// Utilization reports the fraction of wall time this core spent
+// processing packets.
+func (c *Core) Utilization(now sim.Time) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(c.BusyTime) / float64(now)
+}

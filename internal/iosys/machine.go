@@ -1,0 +1,500 @@
+package iosys
+
+import (
+	"fmt"
+
+	"ceio/internal/bufpool"
+	"ceio/internal/cache"
+	"ceio/internal/flowsteer"
+	"ceio/internal/pcie"
+	"ceio/internal/pkt"
+	"ceio/internal/sim"
+	"ceio/internal/stats"
+	"ceio/internal/trace"
+	"ceio/internal/transport"
+)
+
+// Datapath is the I/O architecture under test. Exactly one datapath is
+// attached to a Machine; it owns the policy layer (what happens to a
+// packet at the NIC entrance, how drivers hand packets to cores, when
+// credits move) while the Machine owns the mechanism layer (links, DMA,
+// caches, CPU cost model, congestion control plumbing).
+type Datapath interface {
+	// Name identifies the architecture in reports ("CEIO", "HostCC", ...).
+	Name() string
+	// Attach wires the datapath to its machine; called once by NewMachine.
+	Attach(m *Machine)
+	// FlowAdded/FlowRemoved track connection establishment and teardown.
+	FlowAdded(f *Flow)
+	FlowRemoved(f *Flow)
+	// Ingress receives a packet at the NIC entrance, after wire
+	// serialisation and the NIC pipeline, and decides its fate.
+	Ingress(f *Flow, p *pkt.Packet)
+	// Poll implements the driver receive path for a CPU-involved flow:
+	// return up to max deliverable packets in order.
+	Poll(f *Flow, max int) []*pkt.Packet
+	// OnDelivered runs after the application finished processing p
+	// (credit release hooks, ring head advancement).
+	OnDelivered(f *Flow, p *pkt.Packet)
+}
+
+// Machine is one simulated receiver host plus its NIC, carrying any
+// number of flows over a single 200 Gbps port.
+type Machine struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	// Memory hierarchy.
+	LLC    *cache.LLC
+	Mem    *cache.Memory
+	IIO    *cache.IIO
+	Uncore *sim.Server // IIO -> LLC commit port
+
+	// Interconnect.
+	ToHost *pcie.Link
+	ToNIC  *pcie.Link
+	DMA    *pcie.Engine
+
+	// NIC.
+	RxWire *sim.Server // 200 Gbps ingress serialisation
+	NICMem *sim.Server // on-NIC DRAM
+	Steer  *flowsteer.Table
+
+	DP Datapath
+
+	Flows map[int]*Flow
+	cores map[int]*Core
+
+	nextBuf  cache.BufID
+	bufBytes map[cache.BufID]int32
+
+	// HostPool bounds host I/O buffers when Config.HostBuffers > 0
+	// (nil otherwise). NoHostBufDrops counts packets lost to exhaustion.
+	HostPool       *bufpool.Pool
+	NoHostBufDrops uint64
+
+	// NICMemUsed tracks elastic-buffer occupancy in bytes.
+	NICMemUsed int64
+
+	// Aggregate metrics.
+	Delivered     stats.Meter
+	InvolvedMeter stats.Meter // CPU-involved deliveries only
+	BypassMeter   stats.Meter // CPU-bypass deliveries only
+	TotalDrops    uint64
+
+	// OnDeliver, if set, observes every packet handed to the application
+	// (workload logic, ordering assertions in tests).
+	OnDeliver func(f *Flow, p *pkt.Packet)
+
+	// Tracer, if set, records per-packet datapath events.
+	Tracer *trace.Tracer
+}
+
+// Trace records a datapath event when tracing is enabled.
+func (m *Machine) Trace(kind trace.Kind, flowID int, seq uint64) {
+	if m.Tracer != nil {
+		m.Tracer.Record(m.Eng.Now(), kind, flowID, seq)
+	}
+}
+
+// NewMachine builds a machine and attaches the datapath. Invalid
+// configurations panic: a machine is always constructed at program setup,
+// where failing loudly beats propagating errors through every test and
+// experiment.
+func NewMachine(cfg Config, dp Datapath) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	m := &Machine{
+		Eng:      eng,
+		Cfg:      cfg,
+		LLC:      cache.NewLLC(cfg.LLCBytes),
+		Mem:      cache.NewMemory(eng, cfg.MemBandwidth, cfg.DRAMLatency),
+		IIO:      cache.NewIIO(cfg.IIOBytes),
+		Uncore:   sim.NewServer(eng, cfg.UncoreBW, 0),
+		ToHost:   pcie.NewLink(eng, cfg.HostLink),
+		ToNIC:    pcie.NewLink(eng, cfg.HostLink),
+		RxWire:   sim.NewServer(eng, cfg.LinkBandwidth, 0),
+		NICMem:   sim.NewServer(eng, cfg.NICMemBandwidth, 0),
+		Steer:    flowsteer.NewTable(),
+		DP:       dp,
+		Flows:    make(map[int]*Flow),
+		cores:    make(map[int]*Core),
+		bufBytes: make(map[cache.BufID]int32),
+	}
+	m.DMA = pcie.NewEngine(eng, m.ToHost, m.ToNIC, m.IIO, cfg.DMACredits)
+	if cfg.HostBuffers > 0 {
+		m.HostPool = bufpool.New(cfg.HostBuffers, cfg.IOBufSize)
+	}
+	dp.Attach(m)
+	return m
+}
+
+// ReserveHostBuf obtains a pooled host I/O buffer for p, recording it on
+// the packet. It returns true when unbounded or a buffer was available;
+// on false the caller must divert or drop the packet.
+func (m *Machine) ReserveHostBuf(p *pkt.Packet) bool {
+	if m.HostPool == nil {
+		return true
+	}
+	b := m.HostPool.Post()
+	if b == nil {
+		return false
+	}
+	p.HostBuf = b
+	return true
+}
+
+// HostBufLanded marks p's pooled buffer as filled (DMA completed).
+func (m *Machine) HostBufLanded(p *pkt.Packet) {
+	if p.HostBuf != nil {
+		if err := m.HostPool.Fill(p.HostBuf); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// releaseHostBuf recycles p's pooled buffer, whatever its state.
+func (m *Machine) releaseHostBuf(p *pkt.Packet) {
+	b := p.HostBuf
+	if b == nil {
+		return
+	}
+	p.HostBuf = nil
+	var err error
+	if b.State() == bufpool.StatePosted {
+		err = m.HostPool.Cancel(b)
+	} else {
+		err = m.HostPool.Release(b)
+	}
+	if err != nil {
+		panic(err)
+	}
+}
+
+// AddFlow establishes a connection: congestion control starts, the
+// datapath is notified (CEIO allocates credits and installs a steering
+// rule here), a CPU core is dedicated for CPU-involved flows (§2.3), and
+// the packet generator begins.
+func (m *Machine) AddFlow(spec FlowSpec) *Flow {
+	if _, dup := m.Flows[spec.ID]; dup {
+		panic(fmt.Sprintf("iosys: duplicate flow id %d", spec.ID))
+	}
+	if spec.MsgPkts < 1 {
+		spec.MsgPkts = 1
+	}
+	if spec.PktSize <= 0 {
+		panic("iosys: flow packet size must be positive")
+	}
+	rate := spec.InitialRate
+	if rate <= 0 {
+		rate = m.Cfg.LinkBandwidth / float64(len(m.Flows)+1)
+	}
+	f := &Flow{FlowSpec: spec, m: m, active: true}
+	ccCfg := m.Cfg.CC
+	if spec.FixedRate {
+		// UD-style traffic: the sender holds its rate regardless of
+		// congestion feedback.
+		ccCfg.MinRate, ccCfg.MaxRate = rate, rate
+	}
+	f.CC = transport.New(m.Eng, ccCfg, rate)
+	f.Delivered.StartAt(m.Eng.Now())
+	m.Flows[spec.ID] = f
+	m.DP.FlowAdded(f)
+	if f.Kind == CPUInvolved {
+		c := newCore(m, f)
+		m.cores[f.ID] = c
+		c.start()
+	}
+	m.scheduleNextPacket(f)
+	return f
+}
+
+// PauseFlow stops a flow's generator without tearing the flow down (used
+// by the flow-scaling experiments, where a client revolves its traffic
+// across thousands of established queue pairs).
+func (m *Machine) PauseFlow(id int) {
+	if f, ok := m.Flows[id]; ok {
+		f.active = false
+	}
+}
+
+// ResumeFlow restarts a paused flow's generator.
+func (m *Machine) ResumeFlow(id int) {
+	f, ok := m.Flows[id]
+	if !ok || f.stopped || f.active {
+		return
+	}
+	f.active = true
+	f.windowBlocked = false
+	m.scheduleNextPacket(f)
+}
+
+// RemoveFlow tears a flow down. In-flight packets already in the I/O
+// system still drain; no new packets are generated.
+func (m *Machine) RemoveFlow(id int) {
+	f, ok := m.Flows[id]
+	if !ok {
+		return
+	}
+	f.stopped = true
+	f.active = false
+	f.CC.Stop()
+	if c, ok := m.cores[id]; ok {
+		c.stop()
+		delete(m.cores, id)
+	}
+	m.DP.FlowRemoved(f)
+	delete(m.Flows, id)
+}
+
+// Core returns the CPU core dedicated to flow id, or nil.
+func (m *Machine) Core(id int) *Core { return m.cores[id] }
+
+// scheduleNextPacket paces the flow generator at its current CC rate,
+// subject to the congestion window: a sender never has more than
+// rate x RTT bytes in flight, so receiver-side consumption (deliveries)
+// clocks the transmission like real DCTCP.
+func (m *Machine) scheduleNextPacket(f *Flow) {
+	if !f.Active() {
+		return
+	}
+	wire := float64(f.PktSize + m.Cfg.EthOverhead)
+	rate := f.CC.Rate() / 1e9 // bytes per ns
+	gap := sim.Time(wire / rate)
+	if gap < 1 {
+		gap = 1
+	}
+	m.Eng.After(gap, func() {
+		if !f.Active() {
+			return
+		}
+		// On/off burst shaping: during the off phase, park until the next
+		// on phase begins (phase locked to the clock, forming incast
+		// across flows with the same shape).
+		if f.BurstOn > 0 && f.BurstOff > 0 {
+			cycle := f.BurstOn + f.BurstOff
+			pos := m.Eng.Now() % cycle
+			if pos >= f.BurstOn {
+				m.Eng.After(cycle-pos, func() { m.scheduleNextPacket(f) })
+				return
+			}
+		}
+		// Window check: at least one packet may always be in flight so a
+		// window smaller than the packet size (jumbo frames at the rate
+		// floor) cannot deadlock the generator.
+		if f.inFlight > 0 && float64(f.inFlight)+wire > f.CC.Window() {
+			// Window closed: park until a delivery or drop frees space.
+			f.windowBlocked = true
+			return
+		}
+		m.emit(f)
+		m.scheduleNextPacket(f)
+	})
+}
+
+// windowOpened resumes a generator parked on a closed window.
+func (m *Machine) windowOpened(f *Flow) {
+	if f.windowBlocked && f.Active() {
+		f.windowBlocked = false
+		m.scheduleNextPacket(f)
+	}
+}
+
+// emit injects one packet onto the wire toward the NIC.
+func (m *Machine) emit(f *Flow) {
+	m.nextBuf++
+	p := &pkt.Packet{
+		Buf:      m.nextBuf,
+		FlowID:   f.ID,
+		Seq:      f.nextSeq,
+		Size:     f.PktSize,
+		MsgStart: f.msgPos == 0,
+		MsgEnd:   f.msgPos == f.MsgPkts-1,
+	}
+	f.nextSeq++
+	f.msgPos++
+	if f.msgPos == f.MsgPkts {
+		f.msgPos = 0
+	}
+	f.Generated++
+	f.inFlight += int64(p.Size + m.Cfg.EthOverhead)
+	m.bufBytes[p.Buf] = int32(p.Size)
+
+	// Wire serialisation through the shared 200 Gbps port. ECN marking
+	// fires when the port backlog exceeds the DCTCP threshold.
+	if m.RxWire.QueueDelay() > m.Cfg.MarkThreshold {
+		p.Marked = true
+	}
+	m.RxWire.Submit(p.Size+m.Cfg.EthOverhead, func() {
+		p.Arrival = m.Eng.Now()
+		m.Trace(trace.KindArrive, p.FlowID, p.Seq)
+		m.Eng.After(m.Cfg.NICPipelineCost, func() { m.DP.Ingress(f, p) })
+	})
+}
+
+// DMAToHost carries p over PCIe, commits it through the IIO into the
+// DDIO region of the LLC, and invokes landed. Evictions of older
+// unconsumed I/O buffers write back to DRAM and delay the commit by the
+// memory controller's backlog — the host-congestion coupling HostCC's
+// IIO signal detects.
+func (m *Machine) DMAToHost(p *pkt.Packet, landed func()) {
+	m.DMA.Write(p.Size, func(done func()) {
+		// An in-flight packet pins a whole pooled I/O buffer's worth of
+		// cache: DDIO rewrites only the packet's lines, but buffer-pool
+		// recycling leaves the rest of the 2KB buffer's lines resident
+		// from earlier use. Jumbo frames span multiple buffers.
+		occ := int64(m.Cfg.IOBufSize)
+		if lines := int64((p.Size + 63) &^ 63); lines > occ {
+			occ = lines
+		}
+		evicted := m.LLC.InsertIO(p.Buf, occ)
+		// Evicted dirty lines write back to DRAM asynchronously, charging
+		// memory bandwidth (and thereby inflating CPU miss latency and
+		// slowing bulk moves) without stalling the DDIO commit itself.
+		for _, id := range evicted {
+			size := int(m.bufBytes[id])
+			if size == 0 {
+				size = m.Cfg.IOBufSize
+			}
+			m.Mem.Writeback(size)
+			delete(m.bufBytes, id)
+		}
+		m.Uncore.Submit(p.Size, nil)
+		commit := m.Uncore.QueueDelay()
+		m.Eng.After(commit, func() {
+			p.Landed = true
+			m.HostBufLanded(p)
+			m.Trace(trace.KindLanded, p.FlowID, p.Seq)
+			done()
+			landed()
+		})
+	})
+}
+
+// Deliver finalises a packet: latency and throughput accounting, ECN
+// feedback to the sender, and the datapath's post-delivery hook.
+func (m *Machine) Deliver(f *Flow, p *pkt.Packet) {
+	now := m.Eng.Now()
+	f.Delivered.Record(p.Size)
+	f.Latency.Record(int64(now - p.Arrival + m.Cfg.ClientOverhead))
+	m.Delivered.Record(p.Size)
+	if f.Kind == CPUInvolved {
+		m.InvolvedMeter.Record(p.Size)
+	} else {
+		m.BypassMeter.Record(p.Size)
+	}
+	if !m.LLC.Resident(p.Buf) {
+		// Retired-but-resident bypass lines keep their size record until
+		// eviction writes them back; everything else is done with it.
+		delete(m.bufBytes, p.Buf)
+	}
+	m.releaseHostBuf(p)
+	f.inFlight -= int64(p.Size + m.Cfg.EthOverhead)
+	m.Trace(trace.KindDelivered, p.FlowID, p.Seq)
+	f.CC.OnAck(p.Marked)
+	if m.OnDeliver != nil {
+		m.OnDeliver(f, p)
+	}
+	m.DP.OnDelivered(f, p)
+	m.windowOpened(f)
+}
+
+// Drop discards a packet (ring overflow, steering drop): the buffer is
+// released and the sender's CCA observes a loss.
+func (m *Machine) Drop(f *Flow, p *pkt.Packet) {
+	f.Drops++
+	m.TotalDrops++
+	m.LLC.Drop(p.Buf)
+	delete(m.bufBytes, p.Buf)
+	f.inFlight -= int64(p.Size + m.Cfg.EthOverhead)
+	m.releaseHostBuf(p)
+	m.Trace(trace.KindDropped, p.FlowID, p.Seq)
+	f.CC.OnLoss()
+	m.windowOpened(f)
+}
+
+// DropNoHostBuf drops a packet for lack of a pooled host buffer.
+func (m *Machine) DropNoHostBuf(f *Flow, p *pkt.Packet) {
+	m.NoHostBufDrops++
+	m.Drop(f, p)
+}
+
+// BufSize returns the payload size recorded for a buffer (0 if unknown).
+func (m *Machine) BufSize(id cache.BufID) int { return int(m.bufBytes[id]) }
+
+// ConsumeBypass models the memory-controller side of a CPU-bypass packet
+// that landed in the LLC (path ② of Figure 3): the DFS/RDMA consumer
+// streams the data onward through the shared memory controller. The LLC
+// lines are NOT freed — a write-back cache keeps them resident (dirty)
+// until later DDIO insertions evict them, which is how sustained bypass
+// traffic flushes CPU-involved flows' packets out of the LLC (§2.2).
+func (m *Machine) ConsumeBypass(f *Flow, p *pkt.Packet, then func()) {
+	// The consumer's post-processing passes (LineFS replication and
+	// logging) multiply the memory traffic per received byte and gate
+	// delivery, so a DFS under load becomes memory-bandwidth-bound.
+	moved := p.Size * (1 + f.PostPasses)
+	m.Mem.BulkMove(moved, func() {
+		if !m.LLC.Probe(p.Buf) {
+			// The consumer's read missed: the chunk was already evicted
+			// to DRAM, costing an extra fetch of the payload.
+			m.Mem.Writeback(p.Size)
+		}
+		m.Deliver(f, p)
+		if then != nil {
+			then()
+		}
+	})
+}
+
+// PacketCPUCost computes the CPU time to process one packet on a core:
+// driver base cost, the memory access (LLC hit or DRAM miss), and the
+// workload's application work including optional memcpy.
+func (m *Machine) PacketCPUCost(f *Flow, p *pkt.Packet) sim.Time {
+	c := m.Cfg.CPUBaseCost
+	if p.Path == pkt.PathSlow {
+		// Slow-path data was just DMA-read into host memory and is warm.
+		c += m.Cfg.LLCHitLatency
+	} else if m.LLC.Consume(p.Buf) {
+		c += m.Cfg.LLCHitLatency
+	} else {
+		c += m.Mem.AccessLatency(p.Size)
+	}
+	c += f.Cost.PerPacket
+	if !f.Cost.ZeroCopy && f.Cost.CopyBandwidth > 0 {
+		c += sim.Time(float64(p.Size) / (f.Cost.CopyBandwidth / 1e9))
+		if f.Cost.AppBufMissRate > 0 && m.Eng.Rand().Float64() < f.Cost.AppBufMissRate {
+			c += m.Mem.AccessLatency(p.Size)
+		}
+	}
+	return c
+}
+
+// InvolvedFlowCount returns the number of active CPU-involved flows.
+func (m *Machine) InvolvedFlowCount() int {
+	n := 0
+	for _, f := range m.Flows {
+		if f.Kind == CPUInvolved {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetWindow restarts all throughput meters and cache counters; used to
+// measure steady-state windows after warm-up.
+func (m *Machine) ResetWindow() {
+	now := m.Eng.Now()
+	m.Delivered.Reset(now)
+	m.InvolvedMeter.Reset(now)
+	m.BypassMeter.Reset(now)
+	for _, f := range m.Flows {
+		f.Delivered.Reset(now)
+		f.Latency.Reset()
+	}
+	m.LLC.ResetStats()
+}
+
+// Run advances the simulation until the given absolute time.
+func (m *Machine) Run(until sim.Time) { m.Eng.RunUntil(until) }

@@ -1,0 +1,72 @@
+package iosys
+
+import (
+	"ceio/internal/sim"
+	"ceio/internal/stats"
+)
+
+// Sampler records per-interval time series of the quantities the paper's
+// dynamic-scenario figures plot: CPU-involved throughput (Mpps), aggregate
+// goodput (Gbps), and the LLC miss rate over each interval.
+type Sampler struct {
+	m      *Machine
+	cancel func()
+
+	InvolvedMpps stats.Series
+	TotalGbps    stats.Series
+	MissRate     stats.Series
+
+	lastPkts   uint64
+	lastBytes  uint64
+	lastHits   uint64
+	lastMisses uint64
+	lastT      sim.Time
+}
+
+// NewSampler starts sampling every interval on the machine's engine.
+func NewSampler(m *Machine, interval sim.Time) *Sampler {
+	s := &Sampler{m: m, lastT: m.Eng.Now()}
+	s.InvolvedMpps.Name = "involved-mpps"
+	s.TotalGbps.Name = "total-gbps"
+	s.MissRate.Name = "llc-miss-rate"
+	s.lastPkts = m.InvolvedMeter.Packets
+	s.lastBytes = m.Delivered.Bytes
+	s.lastHits, s.lastMisses = m.LLC.Hits, m.LLC.Misses
+	s.cancel = m.Eng.Every(interval, interval, s.sample)
+	return s
+}
+
+func (s *Sampler) sample() {
+	now := s.m.Eng.Now()
+	dt := now - s.lastT
+	if dt <= 0 {
+		return
+	}
+	// A ResetWindow between samples rewinds the counters; re-baseline
+	// instead of producing wrapped deltas.
+	if s.m.InvolvedMeter.Packets < s.lastPkts || s.m.Delivered.Bytes < s.lastBytes ||
+		s.m.LLC.Hits < s.lastHits || s.m.LLC.Misses < s.lastMisses {
+		s.rebaseline(now)
+		return
+	}
+	pkts := s.m.InvolvedMeter.Packets - s.lastPkts
+	bytes := s.m.Delivered.Bytes - s.lastBytes
+	hits := s.m.LLC.Hits - s.lastHits
+	misses := s.m.LLC.Misses - s.lastMisses
+
+	s.InvolvedMpps.Add(now, float64(pkts)/dt.Seconds()/1e6)
+	s.TotalGbps.Add(now, float64(bytes)*8/dt.Seconds()/1e9)
+	s.MissRate.Add(now, stats.Ratio(misses, hits+misses))
+
+	s.rebaseline(now)
+}
+
+func (s *Sampler) rebaseline(now sim.Time) {
+	s.lastT = now
+	s.lastPkts = s.m.InvolvedMeter.Packets
+	s.lastBytes = s.m.Delivered.Bytes
+	s.lastHits, s.lastMisses = s.m.LLC.Hits, s.m.LLC.Misses
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.cancel() }

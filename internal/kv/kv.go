@@ -1,0 +1,119 @@
+// Package kv implements the in-memory key-value store behind the eRPC
+// workload of §6.1: a sharded hash store handling 1:1 get/put traffic
+// with small keys and values (16B keys, 64B values in the paper's
+// configuration). It is real, executing code — the examples run every
+// simulated request through it — with the per-request CPU time on the
+// simulated cores supplied by the workload cost model.
+package kv
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// shardCount must be a power of two.
+const shardCount = 64
+
+type shard struct {
+	m map[string][]byte
+}
+
+// Store is a sharded in-memory key-value store. It is safe for the
+// single-threaded simulation; callers needing real concurrency should
+// wrap shards with locks.
+type Store struct {
+	shards [shardCount]shard
+
+	// Statistics.
+	Gets      uint64
+	GetHits   uint64
+	GetMisses uint64
+	Puts      uint64
+	Deletes   uint64
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func shardOf(key []byte) int {
+	h := fnv.New32a()
+	h.Write(key)
+	return int(h.Sum32() & (shardCount - 1))
+}
+
+// Get returns the value for key and whether it exists. The returned
+// slice is the stored value; callers must not mutate it.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	s.Gets++
+	v, ok := s.shards[shardOf(key)].m[string(key)]
+	if ok {
+		s.GetHits++
+	} else {
+		s.GetMisses++
+	}
+	return v, ok
+}
+
+// Put stores value under key (copying the value).
+func (s *Store) Put(key, value []byte) {
+	s.Puts++
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.shards[shardOf(key)].m[string(key)] = v
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key []byte) bool {
+	s.Deletes++
+	sh := &s.shards[shardOf(key)]
+	if _, ok := sh.m[string(key)]; !ok {
+		return false
+	}
+	delete(sh.m, string(key))
+	return true
+}
+
+// Len returns the number of stored keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].m)
+	}
+	return n
+}
+
+// Populate inserts n deterministic entries with keySize/valueSize byte
+// sizes (the paper populates 1,000 entries before the run).
+func (s *Store) Populate(n, keySize, valueSize int) {
+	for i := 0; i < n; i++ {
+		s.Put(SyntheticKey(uint64(i), keySize), SyntheticValue(uint64(i), valueSize))
+	}
+}
+
+// SyntheticKey builds the deterministic key for index i.
+func SyntheticKey(i uint64, size int) []byte {
+	if size < 8 {
+		size = 8
+	}
+	k := make([]byte, size)
+	binary.BigEndian.PutUint64(k, i)
+	return k
+}
+
+// SyntheticValue builds a deterministic value for index i.
+func SyntheticValue(i uint64, size int) []byte {
+	if size < 1 {
+		size = 1
+	}
+	v := make([]byte, size)
+	for j := range v {
+		v[j] = byte(i + uint64(j))
+	}
+	return v
+}

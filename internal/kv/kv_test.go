@@ -1,0 +1,96 @@
+package kv
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := NewStore()
+	k, v := []byte("hello"), []byte("world")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("get on empty store")
+	}
+	s.Put(k, v)
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, v) {
+		t.Fatalf("get = %q/%v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Delete(k) {
+		t.Fatal("delete existing")
+	}
+	if s.Delete(k) {
+		t.Fatal("delete missing should be false")
+	}
+	if s.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+	if s.Gets != 2 || s.GetHits != 1 || s.GetMisses != 1 || s.Puts != 1 || s.Deletes != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := NewStore()
+	v := []byte{1, 2, 3}
+	s.Put([]byte("k"), v)
+	v[0] = 99
+	got, _ := s.Get([]byte("k"))
+	if got[0] != 1 {
+		t.Fatal("store must copy values")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := NewStore()
+	s.Put([]byte("k"), []byte("a"))
+	s.Put([]byte("k"), []byte("b"))
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "b" || s.Len() != 1 {
+		t.Fatalf("got %q len %d", got, s.Len())
+	}
+}
+
+func TestPopulate(t *testing.T) {
+	s := NewStore()
+	s.Populate(1000, 16, 64)
+	if s.Len() != 1000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	v, ok := s.Get(SyntheticKey(42, 16))
+	if !ok || len(v) != 64 {
+		t.Fatalf("entry 42: ok=%v len=%d", ok, len(v))
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	s := NewStore()
+	s.Populate(10000, 16, 8)
+	// No shard should hold more than 4x the mean.
+	mean := 10000 / shardCount
+	for i := range s.shards {
+		if n := len(s.shards[i].m); n > 4*mean {
+			t.Fatalf("shard %d holds %d (mean %d)", i, n, mean)
+		}
+	}
+}
+
+// Property: a put is always readable with the exact value.
+func TestPutGetProperty(t *testing.T) {
+	s := NewStore()
+	f := func(key, value []byte) bool {
+		if len(key) == 0 {
+			return true
+		}
+		s.Put(key, value)
+		got, ok := s.Get(key)
+		return ok && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

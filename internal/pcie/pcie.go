@@ -1,0 +1,234 @@
+// Package pcie models the PCIe interconnect between the NIC and the host:
+// TLP framing overhead, per-direction link bandwidth, a bounded number of
+// outstanding DMA credits, and the hand-off into the host's IIO staging
+// buffer. Exhaustion of DMA credits while the host is slow to drain the
+// IIO is the mechanism by which inefficient LLC use blocks CPU-bypass
+// flows in the paper's analysis (§2.2, impact ②).
+package pcie
+
+import (
+	"ceio/internal/cache"
+	"ceio/internal/sim"
+)
+
+// LinkConfig describes one direction of a PCIe link.
+type LinkConfig struct {
+	// Bandwidth is the usable data bandwidth in bytes/second
+	// (after encoding; PCIe 5.0 x16 is ~63 GB/s raw, ~55 GB/s effective).
+	Bandwidth float64
+	// PropagationDelay is the one-way latency across the interconnect.
+	PropagationDelay sim.Time
+	// MaxPayload is the TLP payload size in bytes (typically 256).
+	MaxPayload int
+	// TLPHeader is the per-TLP framing overhead in bytes (~24).
+	TLPHeader int
+}
+
+// DefaultLinkConfig matches a PCIe 5.0 x16 interconnect.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{
+		Bandwidth:        55e9,
+		PropagationDelay: 350 * sim.Nanosecond,
+		MaxPayload:       256,
+		TLPHeader:        24,
+	}
+}
+
+// Link is one direction of the PCIe interconnect.
+type Link struct {
+	cfg LinkConfig
+	srv *sim.Server
+}
+
+// NewLink builds a link from its configuration.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.MaxPayload <= 0 {
+		cfg.MaxPayload = 256
+	}
+	return &Link{cfg: cfg, srv: sim.NewServer(eng, cfg.Bandwidth, cfg.PropagationDelay)}
+}
+
+// WireBytes returns the on-wire size of a transfer of size payload bytes,
+// including TLP headers.
+func (l *Link) WireBytes(size int) int {
+	if size <= 0 {
+		return l.cfg.TLPHeader
+	}
+	tlps := (size + l.cfg.MaxPayload - 1) / l.cfg.MaxPayload
+	return size + tlps*l.cfg.TLPHeader
+}
+
+// Transfer clocks a transfer across the link; done fires on arrival.
+func (l *Link) Transfer(size int, done func()) sim.Time {
+	return l.srv.Submit(l.WireBytes(size), done)
+}
+
+// QueueDelay reports current serialisation backlog on the link.
+func (l *Link) QueueDelay() sim.Time { return l.srv.QueueDelay() }
+
+// Utilization reports the link's busy fraction since simulation start.
+func (l *Link) Utilization() float64 { return l.srv.Utilization() }
+
+// Engine models the NIC's DMA engine: a bounded pool of outstanding
+// write credits toward the host. Writes traverse the NIC->host link, stage
+// into the IIO buffer, and hold their credit until the host memory
+// subsystem absorbs them (the deliver callback's done function).
+type Engine struct {
+	eng    *sim.Engine
+	toHost *Link
+	toNIC  *Link
+	iio    *cache.IIO
+
+	writeCredits int
+	maxCredits   int
+	pendingW     []pendingWrite
+
+	// iioRetry guards against scheduling multiple concurrent IIO retries.
+	iioWaiting []pendingWrite
+
+	// Read-tag pool: PCIe non-posted reads carry a bounded number of
+	// outstanding tags; excess read requests queue. This is the
+	// aggregate bottleneck of CEIO's slow path at high flow counts
+	// (§6.4 "Understanding Performance Penalties of Slow Path").
+	readCredits int
+	maxReads    int
+	pendingR    []pendingRead
+
+	// Statistics.
+	Writes          uint64
+	Reads           uint64
+	CreditStalls    uint64
+	ReadStalls      uint64
+	IIOBackpressure uint64
+}
+
+type pendingRead struct {
+	size          int
+	deviceLatency sim.Time
+	done          func()
+}
+
+type pendingWrite struct {
+	size    int
+	deliver func(done func())
+}
+
+// NewEngine builds a DMA engine with maxOutstanding write credits and a
+// read-tag pool of half that size.
+func NewEngine(eng *sim.Engine, toHost, toNIC *Link, iio *cache.IIO, maxOutstanding int) *Engine {
+	if maxOutstanding <= 0 {
+		maxOutstanding = 64
+	}
+	maxReads := maxOutstanding / 8
+	if maxReads < 4 {
+		maxReads = 4
+	}
+	return &Engine{
+		eng:          eng,
+		toHost:       toHost,
+		toNIC:        toNIC,
+		iio:          iio,
+		writeCredits: maxOutstanding,
+		maxCredits:   maxOutstanding,
+		readCredits:  maxReads,
+		maxReads:     maxReads,
+	}
+}
+
+// OutstandingReads reports read tags currently in use.
+func (d *Engine) OutstandingReads() int { return d.maxReads - d.readCredits }
+
+// OutstandingWrites reports write credits currently in use.
+func (d *Engine) OutstandingWrites() int { return d.maxCredits - d.writeCredits }
+
+// Write issues a DMA write of size bytes toward the host. deliver is
+// invoked when the data reaches the head of the IIO buffer; the host
+// memory subsystem must call the supplied done function once it has
+// absorbed the data, which drains the IIO and releases the DMA credit.
+func (d *Engine) Write(size int, deliver func(done func())) {
+	if d.writeCredits == 0 {
+		d.CreditStalls++
+		d.pendingW = append(d.pendingW, pendingWrite{size, deliver})
+		return
+	}
+	d.writeCredits--
+	d.Writes++
+	d.toHost.Transfer(size, func() { d.arriveAtIIO(pendingWrite{size, deliver}) })
+}
+
+func (d *Engine) arriveAtIIO(w pendingWrite) {
+	if !d.iio.TryEnqueue(int64(w.size)) {
+		// IIO full: the root complex exerts backpressure. Park the write;
+		// it is retried whenever the IIO drains.
+		d.IIOBackpressure++
+		d.iioWaiting = append(d.iioWaiting, w)
+		return
+	}
+	w.deliver(func() {
+		d.iio.Drain(int64(w.size))
+		d.releaseWriteCredit()
+		d.retryIIOWaiters()
+	})
+}
+
+func (d *Engine) releaseWriteCredit() {
+	d.writeCredits++
+	if len(d.pendingW) > 0 && d.writeCredits > 0 {
+		next := d.pendingW[0]
+		d.pendingW = d.pendingW[1:]
+		d.writeCredits--
+		d.Writes++
+		d.toHost.Transfer(next.size, func() { d.arriveAtIIO(next) })
+	}
+}
+
+func (d *Engine) retryIIOWaiters() {
+	for len(d.iioWaiting) > 0 {
+		w := d.iioWaiting[0]
+		if !d.iio.TryEnqueue(int64(w.size)) {
+			return
+		}
+		d.iioWaiting = d.iioWaiting[1:]
+		w.deliver(func() {
+			d.iio.Drain(int64(w.size))
+			d.releaseWriteCredit()
+			d.retryIIOWaiters()
+		})
+	}
+}
+
+// Read issues a DMA read of size bytes from device memory into the host
+// (the CEIO slow-path fetch). The request header crosses to the NIC, the
+// device serves it (deviceLatency covers on-NIC memory access and any
+// internal switch traversal), and the payload crosses back. done fires
+// when the payload lands in host memory. Reads beyond the tag pool queue
+// FIFO — the shared bottleneck that caps aggregate slow-path throughput
+// when many flows drain concurrently.
+func (d *Engine) Read(size int, deviceLatency sim.Time, done func()) {
+	if d.readCredits == 0 {
+		d.ReadStalls++
+		d.pendingR = append(d.pendingR, pendingRead{size, deviceLatency, done})
+		return
+	}
+	d.readCredits--
+	d.startRead(pendingRead{size, deviceLatency, done})
+}
+
+func (d *Engine) startRead(r pendingRead) {
+	d.Reads++
+	// Request TLP toward the NIC.
+	d.toNIC.Transfer(32, func() {
+		d.eng.After(r.deviceLatency, func() {
+			d.toHost.Transfer(r.size, func() {
+				r.done()
+				d.readCredits++
+				if len(d.pendingR) > 0 && d.readCredits > 0 {
+					next := d.pendingR[0]
+					d.pendingR = d.pendingR[1:]
+					d.readCredits--
+					d.startRead(next)
+				}
+			})
+		})
+	})
+}

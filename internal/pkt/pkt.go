@@ -1,0 +1,56 @@
+// Package pkt defines the packet descriptor shared by the NIC, ring, and
+// host layers. A Packet is a descriptor, not payload: the simulation tracks
+// data placement through cache.BufID identities rather than bytes.
+package pkt
+
+import (
+	"ceio/internal/bufpool"
+	"ceio/internal/cache"
+	"ceio/internal/sim"
+)
+
+// Path identifies which I/O path carried a packet to the host.
+type Path uint8
+
+const (
+	// PathFast is the legacy path: NIC -> (DDIO) LLC -> CPU/DRAM.
+	PathFast Path = iota
+	// PathSlow is the CEIO elastic path: NIC -> on-NIC memory -> CPU/DRAM.
+	PathSlow
+)
+
+func (p Path) String() string {
+	if p == PathSlow {
+		return "slow"
+	}
+	return "fast"
+}
+
+// Packet is one network packet traversing the I/O system.
+type Packet struct {
+	Buf    cache.BufID // I/O buffer identity for LLC residency tracking
+	FlowID int         // owning flow
+	Seq    uint64      // per-flow sequence number, assigned at NIC arrival
+	Size   int         // payload size in bytes
+
+	Arrival sim.Time // NIC rx timestamp (start of the I/O latency measurement)
+	Path    Path     // which path delivered it
+
+	// MsgStart/MsgEnd delimit application messages. MsgEnd triggers lazy
+	// credit release (the paper's batch-completion semantics, §4.1) and
+	// models RDMA write-with-immediate for CPU-bypass flows.
+	MsgStart bool
+	MsgEnd   bool
+
+	// Marked carries the ECN congestion mark back to the transport.
+	Marked bool
+
+	// Landed flips true once the packet's DMA into host memory completed;
+	// ring entries may be reserved before their data arrives, and drivers
+	// only deliver landed packets.
+	Landed bool
+
+	// HostBuf is the pooled host I/O buffer carrying this packet when the
+	// machine runs with a bounded buffer pool (Config.HostBuffers > 0).
+	HostBuf *bufpool.Buffer
+}

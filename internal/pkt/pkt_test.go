@@ -1,0 +1,19 @@
+package pkt
+
+import "testing"
+
+func TestPathString(t *testing.T) {
+	if PathFast.String() != "fast" || PathSlow.String() != "slow" {
+		t.Fatalf("path strings: %s %s", PathFast, PathSlow)
+	}
+}
+
+func TestZeroValuePacket(t *testing.T) {
+	var p Packet
+	if p.Path != PathFast {
+		t.Fatal("zero packet should default to the fast path")
+	}
+	if p.Landed || p.Marked || p.MsgEnd || p.HostBuf != nil {
+		t.Fatal("zero packet flags should be clear")
+	}
+}

@@ -1,0 +1,97 @@
+// Package ring implements the descriptor rings of the I/O data path: the
+// hardware rx rings the NIC posts completions to, and the CEIO software
+// ring (§4.2) that unifies fast-path and slow-path packets into a single
+// ordered, application-facing abstraction.
+package ring
+
+import (
+	"ceio/internal/pkt"
+)
+
+// HWRing models a hardware descriptor ring with head/tail pointers. The
+// producer (NIC firmware) advances the tail when a packet lands in host
+// memory; the consumer (driver) advances the head as packets are handed to
+// the application. Capacity is fixed at construction; posting to a full
+// ring fails, which at the NIC level means the packet is dropped (legacy,
+// ShRing) or diverted (CEIO).
+type HWRing struct {
+	buf  []*pkt.Packet
+	head uint64 // next entry to consume
+	tail uint64 // next entry to produce
+
+	// Statistics.
+	Posted  uint64
+	Full    uint64
+	Popped  uint64
+	MaxFill int
+}
+
+// NewHWRing creates a ring with the given number of descriptor entries.
+func NewHWRing(capacity int) *HWRing {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("ring: capacity must be a positive power of two")
+	}
+	return &HWRing{buf: make([]*pkt.Packet, capacity)}
+}
+
+// Cap returns the ring capacity in entries.
+func (r *HWRing) Cap() int { return len(r.buf) }
+
+// Len returns the number of occupied entries.
+func (r *HWRing) Len() int { return int(r.tail - r.head) }
+
+// Free returns the number of available entries.
+func (r *HWRing) Free() int { return r.Cap() - r.Len() }
+
+// Post appends a packet descriptor; it fails when the ring is full.
+func (r *HWRing) Post(p *pkt.Packet) bool {
+	if r.Len() == r.Cap() {
+		r.Full++
+		return false
+	}
+	r.buf[r.tail&uint64(r.Cap()-1)] = p
+	r.tail++
+	r.Posted++
+	if l := r.Len(); l > r.MaxFill {
+		r.MaxFill = l
+	}
+	return true
+}
+
+// Peek returns the head descriptor without consuming it, or nil.
+func (r *HWRing) Peek() *pkt.Packet {
+	if r.Len() == 0 {
+		return nil
+	}
+	return r.buf[r.head&uint64(r.Cap()-1)]
+}
+
+// Pop consumes and returns the head descriptor, or nil when empty.
+func (r *HWRing) Pop() *pkt.Packet {
+	if r.Len() == 0 {
+		return nil
+	}
+	idx := r.head & uint64(r.Cap()-1)
+	p := r.buf[idx]
+	r.buf[idx] = nil
+	r.head++
+	r.Popped++
+	return p
+}
+
+// PopBatch pops up to n descriptors into out and returns the slice.
+func (r *HWRing) PopBatch(out []*pkt.Packet, n int) []*pkt.Packet {
+	for i := 0; i < n; i++ {
+		p := r.Pop()
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Head and Tail expose the raw pointers (the flow controller tracks the
+// head pointer of the legacy ring to account credit consumption, §4.1).
+func (r *HWRing) Head() uint64 { return r.head }
+func (r *HWRing) Tail() uint64 { return r.tail }

@@ -1,0 +1,149 @@
+package ring
+
+import (
+	"ceio/internal/pkt"
+)
+
+// Entry is one slot of the CEIO software ring. Slow-path entries become
+// consumable only after their asynchronous DMA read from on-NIC memory
+// completes (Ready flips true); fast-path entries are ready on insertion.
+// The per-entry location flag is exactly the flag field described in §4.2
+// ("the driver maintains a flag for each ring entry, indicating whether
+// the I/O buffer locates in the fast path or the slow path").
+type Entry struct {
+	Pkt   *pkt.Packet
+	Slow  bool
+	Ready bool
+}
+
+// SWRing is the CEIO software ring (§4.2): a two-producer (fast-path DMA
+// completion and slow-path buffer manager), one-consumer FIFO that
+// abstracts the two hardware rings behind a single ordered reception
+// interface. Because CEIO enforces phase exclusivity between the paths,
+// producers never interleave within a flow, so FIFO insertion order is
+// delivery order — no per-packet reordering metadata is needed.
+type SWRing struct {
+	entries []Entry
+	head    uint64
+	tail    uint64
+
+	// Statistics.
+	FastPushed uint64
+	SlowPushed uint64
+	Delivered  uint64
+	MaxFill    int
+}
+
+// NewSWRing creates a software ring with the given entry count.
+func NewSWRing(capacity int) *SWRing {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("ring: capacity must be a positive power of two")
+	}
+	return &SWRing{entries: make([]Entry, capacity)}
+}
+
+// Cap returns the ring capacity in entries.
+func (r *SWRing) Cap() int { return len(r.entries) }
+
+// Len returns occupied entries (ready or not).
+func (r *SWRing) Len() int { return int(r.tail - r.head) }
+
+func (r *SWRing) slot(i uint64) *Entry { return &r.entries[i&uint64(r.Cap()-1)] }
+
+// PushFast inserts a fast-path packet (immediately ready). It fails when
+// the ring is full.
+func (r *SWRing) PushFast(p *pkt.Packet) bool {
+	if r.Len() == r.Cap() {
+		return false
+	}
+	*r.slot(r.tail) = Entry{Pkt: p, Slow: false, Ready: true}
+	r.tail++
+	r.FastPushed++
+	if l := r.Len(); l > r.MaxFill {
+		r.MaxFill = l
+	}
+	return true
+}
+
+// PushSlow inserts a slow-path packet that is not yet readable (its data
+// still resides in on-NIC memory). It returns the entry's ring index for
+// the later MarkReady call, and ok=false when the ring is full.
+func (r *SWRing) PushSlow(p *pkt.Packet) (idx uint64, ok bool) {
+	if r.Len() == r.Cap() {
+		return 0, false
+	}
+	idx = r.tail
+	*r.slot(idx) = Entry{Pkt: p, Slow: true, Ready: false}
+	r.tail++
+	r.SlowPushed++
+	if l := r.Len(); l > r.MaxFill {
+		r.MaxFill = l
+	}
+	return idx, true
+}
+
+// MarkReady flips a slow-path entry to consumable once its DMA read into
+// host memory completed. Marking an already-consumed or out-of-range entry
+// panics: it would indicate a protocol violation in the buffer manager.
+func (r *SWRing) MarkReady(idx uint64) {
+	if idx < r.head || idx >= r.tail {
+		panic("ring: MarkReady outside live window")
+	}
+	e := r.slot(idx)
+	if !e.Slow {
+		panic("ring: MarkReady on fast-path entry")
+	}
+	e.Ready = true
+}
+
+// PeekHead returns the head entry without consuming, or nil when empty.
+// The head may be a not-yet-ready slow entry, in which case the consumer
+// must wait (Recv) or continue other work (AsyncRecv).
+func (r *SWRing) PeekHead() *Entry {
+	if r.Len() == 0 {
+		return nil
+	}
+	return r.slot(r.head)
+}
+
+// PopReady consumes and returns the head packet if it is ready; otherwise
+// nil. Consumption order is strict FIFO: a ready entry behind a non-ready
+// head is never delivered early, which preserves intra-flow ordering.
+func (r *SWRing) PopReady() *pkt.Packet {
+	if r.Len() == 0 {
+		return nil
+	}
+	e := r.slot(r.head)
+	if !e.Ready {
+		return nil
+	}
+	p := e.Pkt
+	e.Pkt = nil
+	r.head++
+	r.Delivered++
+	return p
+}
+
+// At returns the live entry at ring index idx (from PushSlow or the head
+// window); it panics outside the live window.
+func (r *SWRing) At(idx uint64) *Entry {
+	if idx < r.head || idx >= r.tail {
+		panic("ring: At outside live window")
+	}
+	return r.slot(idx)
+}
+
+// PendingSlow scans the live window and returns the indices of slow
+// entries that are not yet ready, in order. The CEIO driver uses this to
+// issue asynchronous DMA reads while the application processes fast-path
+// packets (§4.2).
+func (r *SWRing) PendingSlow(max int) []uint64 {
+	var out []uint64
+	for i := r.head; i < r.tail && len(out) < max; i++ {
+		e := r.slot(i)
+		if e.Slow && !e.Ready {
+			out = append(out, i)
+		}
+	}
+	return out
+}

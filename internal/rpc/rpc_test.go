@@ -1,0 +1,149 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ceio/internal/iosys"
+	"ceio/internal/kv"
+	"ceio/internal/sim"
+	"ceio/internal/workload"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	req := &Request{ID: 42, Op: OpPut, Key: []byte("key16bytes......"), Value: bytes.Repeat([]byte{7}, 64)}
+	buf, err := req.Marshal(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalRequest(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 42 || got.Op != OpPut || !bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Value, req.Value) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalRequest([]byte{1, 2}); err == nil {
+		t.Fatal("short header should error")
+	}
+	req := &Request{ID: 1, Op: OpGet, Key: []byte("abcd")}
+	buf, _ := req.Marshal(nil)
+	if _, err := UnmarshalRequest(buf[:len(buf)-1]); err == nil {
+		t.Fatal("truncated body should error")
+	}
+	buf[8] = 99 // invalid op
+	if _, err := UnmarshalRequest(buf); err == nil {
+		t.Fatal("bad op should error")
+	}
+}
+
+func TestMarshalTooLarge(t *testing.T) {
+	req := &Request{ID: 1, Op: OpPut, Key: make([]byte, 70000)}
+	if _, err := req.Marshal(nil); err == nil {
+		t.Fatal("oversized key should error")
+	}
+}
+
+// Property: round trip preserves arbitrary requests.
+func TestMarshalProperty(t *testing.T) {
+	f := func(id uint64, op bool, key, value []byte) bool {
+		if len(key) > 65535 || len(value) > 65535 {
+			return true
+		}
+		req := &Request{ID: id, Op: OpGet, Key: key}
+		if op {
+			req.Op = OpPut
+			req.Value = value
+		}
+		buf, err := req.Marshal(nil)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalRequest(buf)
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Op == req.Op &&
+			bytes.Equal(got.Key, key) && (req.Op == OpGet || bytes.Equal(got.Value, value))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenKVMix(t *testing.T) {
+	gen := GenKV(1000, 16, 64)
+	gets, puts := 0, 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		r := gen(1, seq)
+		switch r.Op {
+		case OpGet:
+			gets++
+			if len(r.Value) != 0 {
+				t.Fatal("get with value")
+			}
+		case OpPut:
+			puts++
+			if len(r.Value) != 64 {
+				t.Fatalf("put value len %d", len(r.Value))
+			}
+		}
+		if len(r.Key) != 16 {
+			t.Fatalf("key len %d", len(r.Key))
+		}
+	}
+	if gets != 500 || puts != 500 {
+		t.Fatalf("mix %d:%d, want 1:1", gets, puts)
+	}
+	// Determinism.
+	a, b := gen(3, 77), gen(3, 77)
+	if !bytes.Equal(a.Key, b.Key) || a.Op != b.Op {
+		t.Fatal("generator must be deterministic")
+	}
+}
+
+// End to end: the server executes real KV operations for every packet
+// the simulated datapath delivers.
+func TestServerOverSimulatedDatapath(t *testing.T) {
+	store := kv.NewStore()
+	store.Populate(1000, 16, 64)
+	srv := NewServer(func(r *Request) Response {
+		switch r.Op {
+		case OpGet:
+			v, ok := store.Get(r.Key)
+			return Response{ID: r.ID, OK: ok, Value: v}
+		default:
+			store.Put(r.Key, r.Value)
+			return Response{ID: r.ID, OK: true}
+		}
+	}, nil)
+
+	m := iosys.NewMachine(iosys.DefaultConfig(), workload.NewDatapath(workload.MethodCEIO))
+	srv.Bind(m)
+	m.AddFlow(workload.ERPCKV(1, 144, workload.DPDK))
+	m.AddFlow(workload.LineFS(2, 1024, 0)) // bypass traffic must not dispatch
+	m.Run(2 * sim.Millisecond)
+
+	if srv.Requests == 0 {
+		t.Fatal("no requests dispatched")
+	}
+	if srv.Failures != 0 {
+		t.Fatalf("%d codec failures", srv.Failures)
+	}
+	if store.Gets == 0 || store.Puts == 0 {
+		t.Fatalf("store not exercised: gets=%d puts=%d", store.Gets, store.Puts)
+	}
+	if srv.Requests != m.Flows[1].Delivered.Packets {
+		t.Fatalf("requests %d != delivered involved packets %d", srv.Requests, m.Flows[1].Delivered.Packets)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpGet.String() != "GET" || OpPut.String() != "PUT" || Op(9).String() == "" {
+		t.Fatal("op strings")
+	}
+}

@@ -1,0 +1,158 @@
+// Package sim implements the discrete-event simulation engine underlying
+// the CEIO reproduction. Time is measured in integer nanoseconds. All model
+// components (NIC, PCIe, caches, CPU cores, congestion control) are driven
+// by callbacks scheduled on a single Engine, which makes every run fully
+// deterministic for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a simulated timestamp or duration in nanoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1e3
+	Millisecond Time = 1e6
+	Second      Time = 1e9
+)
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Micros converts t to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/1e6)
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events with equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Engine is a single-threaded discrete-event scheduler.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events executed so far; useful for run budgets.
+	Processed uint64
+}
+
+// NewEngine returns an engine at time zero with a deterministic RNG.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model; it is clamped to Now so that simulations degrade
+// gracefully rather than travel backwards.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.heap.pushEvent(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled events not yet executed.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 || e.stopped {
+		return false
+	}
+	ev := e.heap.popEvent()
+	e.now = ev.at
+	e.Processed++
+	ev.fn()
+	return true
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= end, then sets the clock to
+// end. Events scheduled beyond end remain queued.
+func (e *Engine) RunUntil(end Time) {
+	for len(e.heap) > 0 && !e.stopped && e.heap.peek().at <= end {
+		e.Step()
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+}
+
+// Every schedules fn at period intervals starting at start until the
+// returned cancel function is invoked. fn runs before the next tick is
+// scheduled, so a callback may safely cancel its own ticker.
+func (e *Engine) Every(start, period Time, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			e.After(period, tick)
+		}
+	}
+	e.At(start, tick)
+	return func() { stopped = true }
+}

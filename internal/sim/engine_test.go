@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{50, 10, 30, 20, 40} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("expected 5 events, ran %d", len(got))
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestEnginePastClamp(t *testing.T) {
+	e := NewEngine(1)
+	var ran bool
+	e.At(100, func() {
+		e.At(50, func() { ran = true }) // in the past: clamps to now
+		if e.Now() != 100 {
+			t.Fatalf("now = %v", e.Now())
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("clamped event did not run")
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Every(0, 10, func() { count++ })
+	e.RunUntil(95)
+	if count != 10 { // ticks at 0,10,...,90
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 95 {
+		t.Fatalf("clock = %v, want 95", e.Now())
+	}
+	e.RunUntil(100)
+	if count != 11 {
+		t.Fatalf("count = %d, want 11", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Every(0, 10, func() {
+		count++
+		if count == 3 {
+			e.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var cancel func()
+	cancel = e.Every(0, 10, func() {
+		count++
+		if count == 5 {
+			cancel()
+		}
+	})
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine(seed)
+		var out []int
+		for i := 0; i < 100; i++ {
+			e.After(Time(e.Rand().Intn(1000)), func() { out = append(out, e.Rand().Intn(1<<20)) })
+		}
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of scheduled times, execution order is a stable
+// sort of the schedule.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := NewEngine(7)
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, raw := range times {
+			at, i := Time(raw), i
+			e.At(at, func() { got = append(got, rec{e.Now(), i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		for k := 1; k < len(got); k++ {
+			if got[k].at < got[k-1].at {
+				return false
+			}
+			if got[k].at == got[k-1].at && got[k].idx < got[k-1].idx {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSerialisation(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1e9, 0) // 1 byte per ns
+	var done []Time
+	s.Submit(100, func() { done = append(done, e.Now()) })
+	s.Submit(50, func() { done = append(done, e.Now()) })
+	e.Run()
+	if len(done) != 2 || done[0] != 100 || done[1] != 150 {
+		t.Fatalf("completions = %v, want [100 150]", done)
+	}
+}
+
+func TestServerLatencyPipelining(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1e9, 500)
+	var done []Time
+	s.Submit(100, func() { done = append(done, e.Now()) })
+	s.Submit(100, func() { done = append(done, e.Now()) })
+	e.Run()
+	// Second item begins serialising at t=100 and completes at 200+500:
+	// the latency stages overlap.
+	if len(done) != 2 || done[0] != 600 || done[1] != 700 {
+		t.Fatalf("completions = %v, want [600 700]", done)
+	}
+}
+
+func TestServerQueueDelay(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 1e9, 0)
+	s.Submit(1000, nil)
+	if d := s.QueueDelay(); d != 1000 {
+		t.Fatalf("queue delay = %v, want 1000", d)
+	}
+	e.RunUntil(400)
+	if d := s.QueueDelay(); d != 600 {
+		t.Fatalf("queue delay = %v, want 600", d)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	e := NewEngine(1)
+	s := NewServer(e, 2e9, 0)
+	s.Submit(200, nil)
+	s.Submit(200, nil)
+	e.Run()
+	if s.ItemsServed != 2 || s.BytesServed != 400 {
+		t.Fatalf("items=%d bytes=%d", s.ItemsServed, s.BytesServed)
+	}
+	if s.BusyTime != 200 { // 400 bytes at 2 B/ns
+		t.Fatalf("busy=%v want 200", s.BusyTime)
+	}
+	if s.MaxQueueing != 100 {
+		t.Fatalf("max queueing=%v want 100", s.MaxQueueing)
+	}
+}
+
+func TestTokenBucketBasics(t *testing.T) {
+	e := NewEngine(1)
+	tb := NewTokenBucket(e, 1e9, 100) // 1 B/ns, burst 100
+	if ok, _ := tb.Take(100); !ok {
+		t.Fatal("initial burst should be available")
+	}
+	ok, retry := tb.Take(50)
+	if ok {
+		t.Fatal("bucket should be empty")
+	}
+	if retry != 50 {
+		t.Fatalf("retry = %v, want 50", retry)
+	}
+	e.RunUntil(50)
+	if ok, _ := tb.Take(50); !ok {
+		t.Fatal("tokens should have accrued")
+	}
+}
+
+func TestTokenBucketSetRate(t *testing.T) {
+	e := NewEngine(1)
+	tb := NewTokenBucket(e, 1e9, 1000)
+	tb.Take(1000)
+	e.RunUntil(100) // accrue 100 tokens at 1 B/ns
+	tb.SetRate(2e9)
+	e.RunUntil(150) // accrue 100 more at 2 B/ns
+	ok, _ := tb.Take(200)
+	if !ok {
+		t.Fatal("expected 200 tokens after rate change")
+	}
+	if ok, _ := tb.Take(1); ok {
+		t.Fatal("bucket should be empty after exact take")
+	}
+}
+
+func TestTokenBucketNeverExceedsBurst(t *testing.T) {
+	f := func(waits []uint8) bool {
+		e := NewEngine(3)
+		tb := NewTokenBucket(e, 5e8, 64)
+		for _, w := range waits {
+			e.RunUntil(e.Now() + Time(w))
+			if ok, _ := tb.Take(65); ok {
+				return false // can never take more than burst
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+// Server models a FIFO store-and-forward resource with a finite service
+// bandwidth and a fixed per-item latency: a PCIe link segment, a memory
+// controller, or the on-NIC DRAM of a SmartNIC. Work items occupy the
+// server back-to-back (serialisation delay = size/bandwidth) and the
+// completion callback fires after the additional fixed latency, modelling
+// pipelined transfer: a new item may begin service while a previous item is
+// still "in flight" through the latency stage.
+type Server struct {
+	eng *Engine
+
+	bytesPerNs float64 // service bandwidth
+	latency    Time    // fixed pipeline latency added after serialisation
+
+	busyUntil Time // when the serialisation stage frees up
+
+	// Statistics.
+	ItemsServed uint64
+	BytesServed uint64
+	BusyTime    Time // cumulative serialisation time
+	MaxQueueing Time // worst-case wait for the serialisation stage
+}
+
+// NewServer constructs a Server with bandwidth in bytes per second.
+func NewServer(eng *Engine, bytesPerSecond float64, latency Time) *Server {
+	if bytesPerSecond <= 0 {
+		panic("sim: server bandwidth must be positive")
+	}
+	return &Server{eng: eng, bytesPerNs: bytesPerSecond / 1e9, latency: latency}
+}
+
+// serialisation returns the time to clock size bytes through the server.
+func (s *Server) serialisation(size int) Time {
+	t := Time(float64(size) / s.bytesPerNs)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Submit enqueues a transfer of size bytes. done (optional) runs when the
+// transfer fully completes (serialisation + fixed latency). Submit returns
+// the completion time.
+func (s *Server) Submit(size int, done func()) Time {
+	now := s.eng.Now()
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	if w := start - now; w > s.MaxQueueing {
+		s.MaxQueueing = w
+	}
+	ser := s.serialisation(size)
+	s.busyUntil = start + ser
+	s.BusyTime += ser
+	s.ItemsServed++
+	s.BytesServed += uint64(size)
+	completion := s.busyUntil + s.latency
+	if done != nil {
+		s.eng.At(completion, done)
+	}
+	return completion
+}
+
+// QueueDelay reports how long a transfer submitted now would wait before
+// beginning serialisation.
+func (s *Server) QueueDelay() Time {
+	if d := s.busyUntil - s.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Utilization returns the fraction of time the serialisation stage has been
+// busy since the start of the simulation.
+func (s *Server) Utilization() float64 {
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(s.eng.Now())
+}
+
+// TokenBucket is a byte-granularity token bucket used for rate limiting
+// flow ingress (the DCTCP rate shaper). Tokens accrue continuously at Rate
+// bytes/second up to Burst bytes.
+type TokenBucket struct {
+	eng    *Engine
+	rate   float64 // bytes per ns
+	burst  float64
+	tokens float64
+	last   Time
+}
+
+// NewTokenBucket creates a bucket that starts full.
+func NewTokenBucket(eng *Engine, bytesPerSecond, burstBytes float64) *TokenBucket {
+	if burstBytes <= 0 {
+		burstBytes = 1
+	}
+	return &TokenBucket{eng: eng, rate: bytesPerSecond / 1e9, burst: burstBytes, tokens: burstBytes, last: eng.Now()}
+}
+
+func (tb *TokenBucket) refill() {
+	now := tb.eng.Now()
+	tb.tokens += float64(now-tb.last) * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+	tb.last = now
+}
+
+// SetRate updates the fill rate (bytes/second), settling accrued tokens
+// first so rate changes take effect exactly at the current instant.
+func (tb *TokenBucket) SetRate(bytesPerSecond float64) {
+	tb.refill()
+	tb.rate = bytesPerSecond / 1e9
+}
+
+// Rate returns the current fill rate in bytes/second.
+func (tb *TokenBucket) Rate() float64 { return tb.rate * 1e9 }
+
+// Take attempts to remove size tokens. On failure it returns the duration
+// after which the caller should retry.
+func (tb *TokenBucket) Take(size int) (ok bool, retryIn Time) {
+	tb.refill()
+	need := float64(size)
+	if tb.tokens >= need {
+		tb.tokens -= need
+		return true, 0
+	}
+	if tb.rate <= 0 {
+		return false, Millisecond
+	}
+	wait := Time((need - tb.tokens) / tb.rate)
+	if wait < 1 {
+		wait = 1
+	}
+	return false, wait
+}

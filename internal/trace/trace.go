@@ -1,0 +1,117 @@
+// Package trace provides per-packet event tracing through the simulated
+// I/O datapath: NIC arrival, steering verdicts, DMA completion, slow-path
+// reads, delivery, and drops. Events are held in a bounded ring so a
+// tracer can stay attached to a long run, and can be filtered per flow.
+// The CLI (`ceio-sim -trace`) and tests use it to explain *why* a packet
+// took the path it did.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"ceio/internal/sim"
+)
+
+// Kind classifies a datapath event.
+type Kind uint8
+
+// Event kinds, in rough datapath order.
+const (
+	KindArrive     Kind = iota // packet reached the NIC entrance
+	KindFastPath               // steered to the fast path (credit taken)
+	KindSlowPath               // diverted to on-NIC memory
+	KindLanded                 // DMA into host memory completed
+	KindReadIssued             // slow-path DMA read started
+	KindDelivered              // handed to the application
+	KindDropped                // discarded
+	KindModeFast               // flow resumed the fast path (drain done)
+	KindModeSlow               // flow demoted to the slow path
+)
+
+var kindNames = [...]string{
+	"arrive", "fast", "slow", "landed", "read", "deliver", "drop", "mode-fast", "mode-slow",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence.
+type Event struct {
+	T      sim.Time
+	Kind   Kind
+	FlowID int
+	Seq    uint64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v flow=%d seq=%d %s", e.T, e.FlowID, e.Seq, e.Kind)
+}
+
+// Tracer records events into a bounded ring.
+type Tracer struct {
+	ring  []Event
+	next  int
+	count uint64
+
+	// FlowFilter, when set, restricts recording to flows it accepts.
+	FlowFilter func(flowID int) bool
+}
+
+// New creates a tracer retaining up to capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, subject to the flow filter.
+func (t *Tracer) Record(at sim.Time, kind Kind, flowID int, seq uint64) {
+	if t.FlowFilter != nil && !t.FlowFilter(flowID) {
+		return
+	}
+	ev := Event{T: at, Kind: kind, FlowID: flowID, Seq: seq}
+	t.count++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+		return
+	}
+	t.ring[t.next] = ev
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (t *Tracer) Total() uint64 { return t.count }
+
+// Events returns retained events in chronological order (copy).
+func (t *Tracer) Events() []Event {
+	out := make([]Event, 0, len(t.ring))
+	if len(t.ring) < cap(t.ring) {
+		return append(out, t.ring...)
+	}
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// PacketHistory returns the retained events for one (flow, seq) packet.
+func (t *Tracer) PacketHistory(flowID int, seq uint64) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.FlowID == flowID && e.Seq == seq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes all retained events to w, one per line.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}

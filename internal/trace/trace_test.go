@@ -1,0 +1,115 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ceio/internal/core"
+	"ceio/internal/iosys"
+	"ceio/internal/sim"
+	"ceio/internal/trace"
+	"ceio/internal/workload"
+)
+
+func TestRingRetention(t *testing.T) {
+	tr := trace.New(4)
+	for i := uint64(0); i < 10; i++ {
+		tr.Record(sim.Time(i), trace.KindArrive, 1, i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	if evs[0].Seq != 6 || evs[3].Seq != 9 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	// Chronological order.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("out of order: %v", evs)
+		}
+	}
+}
+
+func TestFlowFilter(t *testing.T) {
+	tr := trace.New(16)
+	tr.FlowFilter = func(id int) bool { return id == 2 }
+	tr.Record(0, trace.KindArrive, 1, 0)
+	tr.Record(0, trace.KindArrive, 2, 0)
+	if len(tr.Events()) != 1 || tr.Events()[0].FlowID != 2 {
+		t.Fatalf("filter failed: %v", tr.Events())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := trace.KindArrive; k <= trace.KindModeSlow; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("missing name for kind %d", k)
+		}
+	}
+	if !strings.HasPrefix(trace.Kind(200).String(), "kind(") {
+		t.Fatal("unknown kind should fall back")
+	}
+}
+
+// End to end: packet lifecycles recorded through the CEIO datapath obey
+// arrive -> (fast -> landed | slow -> read) -> deliver ordering.
+func TestPacketLifecycleThroughCEIO(t *testing.T) {
+	opts := core.DefaultOptions()
+	opts.TotalCredits = 64 // force both paths
+	m := iosys.NewMachine(iosys.DefaultConfig(), core.New(opts))
+	m.Tracer = trace.New(1 << 16)
+	m.AddFlow(workload.ERPCKV(1, 256, workload.DPDK))
+	m.Run(500 * sim.Microsecond)
+
+	order := map[trace.Kind]int{
+		trace.KindArrive: 0, trace.KindFastPath: 1, trace.KindSlowPath: 1,
+		trace.KindReadIssued: 2, trace.KindLanded: 2, trace.KindDelivered: 3,
+	}
+	perPkt := map[uint64][]trace.Event{}
+	sawFast, sawSlow := false, false
+	for _, e := range m.Tracer.Events() {
+		switch e.Kind {
+		case trace.KindModeFast, trace.KindModeSlow:
+			continue
+		case trace.KindFastPath:
+			sawFast = true
+		case trace.KindSlowPath:
+			sawSlow = true
+		}
+		perPkt[e.Seq] = append(perPkt[e.Seq], e)
+	}
+	if !sawFast || !sawSlow {
+		t.Fatalf("expected both paths: fast=%v slow=%v", sawFast, sawSlow)
+	}
+	checked := 0
+	for seq, evs := range perPkt {
+		for i := 1; i < len(evs); i++ {
+			if order[evs[i].Kind] < order[evs[i-1].Kind] {
+				t.Fatalf("seq %d: %s before %s", seq, evs[i].Kind, evs[i-1].Kind)
+			}
+		}
+		checked++
+	}
+	if checked < 100 {
+		t.Fatalf("only %d packets traced", checked)
+	}
+	// History lookup and dump work.
+	var anySeq uint64
+	for seq := range perPkt {
+		anySeq = seq
+		break
+	}
+	if h := m.Tracer.PacketHistory(1, anySeq); len(h) == 0 {
+		t.Fatal("empty packet history")
+	}
+	var buf bytes.Buffer
+	m.Tracer.Dump(&buf)
+	if !strings.Contains(buf.String(), "deliver") {
+		t.Fatal("dump missing deliveries")
+	}
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"testing"
+
+	"ceio/internal/iosys"
+	"ceio/internal/sim"
+)
+
+func fastScenario() ScenarioConfig {
+	return ScenarioConfig{
+		Epoch:  4 * sim.Millisecond,
+		Epochs: 3,
+		Warmup: 2 * sim.Millisecond,
+		Sample: 250 * sim.Microsecond,
+	}
+}
+
+func TestNewDatapathAllMethods(t *testing.T) {
+	for _, m := range []Method{MethodBaseline, MethodHostCC, MethodShRing, MethodCEIO, MethodCEIONoOpt, MethodCEIOSlowPath} {
+		dp := NewDatapath(m)
+		if dp == nil {
+			t.Fatalf("nil datapath for %s", m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown method should panic")
+		}
+	}()
+	NewDatapath("nope")
+}
+
+func TestFlowSpecDefaults(t *testing.T) {
+	if s := ERPCKV(1, 0, DPDK); s.PktSize != 144 || s.Kind != iosys.CPUInvolved || !s.Cost.ZeroCopy {
+		t.Fatalf("ERPCKV defaults: %+v", s)
+	}
+	dpdk, rdma := ERPCKV(1, 144, DPDK), ERPCKV(1, 144, RDMA)
+	if rdma.Cost.PerPacket <= dpdk.Cost.PerPacket {
+		t.Fatal("RDMA backend should cost more per packet")
+	}
+	if s := LineFS(2, 0, 0); s.Kind != iosys.CPUBypass || s.MsgPkts != 4096 || s.PktSize != 1024 {
+		t.Fatalf("LineFS defaults: %+v", s)
+	}
+	if s := VxLAN(3); s.PktSize != 64 {
+		t.Fatalf("VxLAN: %+v", s)
+	}
+	if s := LineFSCopy(4, 1024); s.Cost.ZeroCopy || s.Cost.AppBufMissRate != 0.10 {
+		t.Fatalf("LineFSCopy: %+v", s)
+	}
+	if DPDK.String() != "DPDK" || RDMA.String() != "RDMA" {
+		t.Fatal("transport strings")
+	}
+}
+
+func TestDynamicDistributionRuns(t *testing.T) {
+	res := RunDynamicDistribution(MethodCEIO, iosys.DefaultConfig(), fastScenario())
+	if res.InvolvedMpps <= 0 {
+		t.Fatalf("no involved throughput: %+v", res)
+	}
+	if res.MissRate > 0.1 {
+		t.Errorf("CEIO dynamic miss rate = %.2f, want low", res.MissRate)
+	}
+	if len(res.Series.InvolvedMpps.Points) == 0 {
+		t.Fatal("no samples")
+	}
+}
+
+func TestNetworkBurstRuns(t *testing.T) {
+	res := RunNetworkBurst(MethodBaseline, iosys.DefaultConfig(), fastScenario())
+	if res.InvolvedMpps <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	if res.WorstMpps > res.InvolvedMpps {
+		t.Fatal("worst interval cannot exceed mean")
+	}
+}
+
+func TestExpectedMppsScalesLinearly(t *testing.T) {
+	cfg := iosys.DefaultConfig()
+	one := ExpectedMpps(cfg, 1)
+	eight := ExpectedMpps(cfg, 8)
+	if one <= 0 {
+		t.Fatal("expected throughput must be positive")
+	}
+	if eight != one*8 {
+		t.Fatalf("expected linear scaling: %v vs %v", eight, one*8)
+	}
+}
+
+// CEIO should degrade less than ShRing when bypass flows join (the
+// Fig. 4a failure mode: bypass flows consuming the shared fixed buffer).
+func TestDynamicDistributionCEIOVsShRing(t *testing.T) {
+	sc := fastScenario()
+	cfg := iosys.DefaultConfig()
+	ceio := RunDynamicDistribution(MethodCEIO, cfg, sc)
+	shr := RunDynamicDistribution(MethodShRing, cfg, sc)
+	t.Logf("ceio: mean=%.2f worst=%.2f miss=%.3f", ceio.InvolvedMpps, ceio.WorstMpps, ceio.MissRate)
+	t.Logf("shring: mean=%.2f worst=%.2f miss=%.3f", shr.InvolvedMpps, shr.WorstMpps, shr.MissRate)
+	if ceio.InvolvedMpps <= shr.InvolvedMpps {
+		t.Errorf("CEIO %.2f should beat ShRing %.2f under dynamic flows", ceio.InvolvedMpps, shr.InvolvedMpps)
+	}
+}

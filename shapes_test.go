@@ -1,0 +1,84 @@
+package ceio_test
+
+import (
+	"testing"
+
+	"ceio"
+)
+
+// TestPaperShapes is the repository's regression gate: one compact run
+// per headline claim, asserting the paper's qualitative results hold.
+// Each subtest is independent and uses short windows; the full-length
+// evidence lives in EXPERIMENTS.md / full_results.txt.
+func TestPaperShapes(t *testing.T) {
+	measure := func(arch ceio.Architecture, flows int, pkt int) ceio.Snapshot {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+		for i := 1; i <= flows; i++ {
+			sim.AddFlow(ceio.KVFlow(i, pkt))
+		}
+		sim.RunFor(8 * ceio.Millisecond)
+		sim.ResetMetrics()
+		sim.RunFor(12 * ceio.Millisecond)
+		return sim.Snapshot()
+	}
+
+	t.Run("CEIO eliminates LLC misses under overload", func(t *testing.T) {
+		base := measure(ceio.ArchBaseline, 8, 256)
+		cw := measure(ceio.ArchCEIO, 8, 256)
+		if base.LLCMissRate < 0.5 {
+			t.Errorf("baseline miss = %.2f, want high", base.LLCMissRate)
+		}
+		if cw.LLCMissRate > 0.05 {
+			t.Errorf("CEIO miss = %.2f, want ~0", cw.LLCMissRate)
+		}
+		if cw.TotalMpps < base.TotalMpps*1.2 {
+			t.Errorf("CEIO %.2f Mpps should be >=1.2x baseline %.2f", cw.TotalMpps, base.TotalMpps)
+		}
+	})
+
+	t.Run("method ordering matches the paper", func(t *testing.T) {
+		base := measure(ceio.ArchBaseline, 8, 256).TotalMpps
+		host := measure(ceio.ArchHostCC, 8, 256).TotalMpps
+		shr := measure(ceio.ArchShRing, 8, 256).TotalMpps
+		cw := measure(ceio.ArchCEIO, 8, 256).TotalMpps
+		if !(base < host && host < shr && shr < cw) {
+			t.Errorf("ordering violated: base=%.2f hostcc=%.2f shring=%.2f ceio=%.2f", base, host, shr, cw)
+		}
+	})
+
+	t.Run("mixed flows: CEIO shields RPC from DFS", func(t *testing.T) {
+		run := func(arch ceio.Architecture) ceio.Snapshot {
+			sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+			for i := 1; i <= 4; i++ {
+				sim.AddFlow(ceio.KVFlow(i, 144))
+			}
+			for i := 5; i <= 8; i++ {
+				sim.AddFlow(ceio.FileTransferFlow(i, 1024, 1024))
+			}
+			sim.RunFor(8 * ceio.Millisecond)
+			sim.ResetMetrics()
+			sim.RunFor(12 * ceio.Millisecond)
+			return sim.Snapshot()
+		}
+		base, cw := run(ceio.ArchBaseline), run(ceio.ArchCEIO)
+		if cw.InvolvedMpps < base.InvolvedMpps*1.5 {
+			t.Errorf("CEIO involved %.2f should be >=1.5x baseline %.2f", cw.InvolvedMpps, base.InvolvedMpps)
+		}
+		if cw.LLCMissRate > 0.05 {
+			t.Errorf("CEIO mixed miss = %.2f", cw.LLCMissRate)
+		}
+	})
+
+	t.Run("large packets amortise: baseline reaches line rate", func(t *testing.T) {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchBaseline)
+		for i := 1; i <= 8; i++ {
+			sim.AddFlow(ceio.EchoFlow(i, 4096))
+		}
+		sim.RunFor(5 * ceio.Millisecond)
+		sim.ResetMetrics()
+		sim.RunFor(10 * ceio.Millisecond)
+		if g := sim.Snapshot().TotalGbps; g < 170 {
+			t.Errorf("4KB baseline at %.1f Gbps, want near line rate", g)
+		}
+	})
+}
