@@ -97,17 +97,48 @@ type Simulator struct {
 	dp iosys.Datapath
 }
 
-// NewSimulator builds a machine running the given architecture.
+// NewSimulator builds a machine running the given architecture. Invalid
+// configurations panic; library consumers embedding the simulator should
+// prefer NewSimulatorE.
 func NewSimulator(cfg Config, arch Architecture) *Simulator {
+	s, err := NewSimulatorE(cfg, arch)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSimulatorE is NewSimulator with invalid configurations reported as
+// errors instead of panics.
+func NewSimulatorE(cfg Config, arch Architecture) (*Simulator, error) {
 	dp := workload.NewDatapath(workload.Method(arch))
-	return &Simulator{m: iosys.NewMachine(cfg, dp), dp: dp}
+	m, err := iosys.NewMachineE(cfg, dp)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{m: m, dp: dp}, nil
 }
 
 // NewCEIOSimulator builds a machine running CEIO with explicit options
-// (ablations, forced slow path, custom credit pools).
+// (ablations, forced slow path, custom credit pools). Invalid
+// configurations panic; see NewCEIOSimulatorE.
 func NewCEIOSimulator(cfg Config, opts CEIOOptions) *Simulator {
+	s, err := NewCEIOSimulatorE(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewCEIOSimulatorE is NewCEIOSimulator with invalid configurations
+// reported as errors instead of panics.
+func NewCEIOSimulatorE(cfg Config, opts CEIOOptions) (*Simulator, error) {
 	dp := core.New(opts)
-	return &Simulator{m: iosys.NewMachine(cfg, dp), dp: dp}
+	m, err := iosys.NewMachineE(cfg, dp)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{m: m, dp: dp}, nil
 }
 
 // Machine exposes the underlying machine for advanced inspection
@@ -122,8 +153,12 @@ func (s *Simulator) CEIO() *core.CEIO {
 	return nil
 }
 
-// AddFlow establishes a flow and returns its runtime handle.
+// AddFlow establishes a flow and returns its runtime handle. Invalid
+// specs (duplicate IDs, non-positive packet sizes) panic; see AddFlowE.
 func (s *Simulator) AddFlow(spec FlowSpec) *Flow { return s.m.AddFlow(spec) }
+
+// AddFlowE is AddFlow with invalid specs reported as errors.
+func (s *Simulator) AddFlowE(spec FlowSpec) (*Flow, error) { return s.m.AddFlowE(spec) }
 
 // RemoveFlow tears a flow down (in-flight packets drain).
 func (s *Simulator) RemoveFlow(id int) { s.m.RemoveFlow(id) }

@@ -1,0 +1,309 @@
+package ceio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ceio"
+	"ceio/internal/trace"
+)
+
+// The chaos suite drives CEIO through sustained fault injection and
+// demands graceful degradation: the run completes without a panic, the
+// invariants auditor stays clean, leaked credits are reconciled, and the
+// flow keeps making progress (no livelock, no deadlock). Run it alone
+// with `go test -run Chaos ./...`.
+
+func chaosSim(t *testing.T, cfg ceio.Config, opts ceio.CEIOOptions, plan ceio.FaultPlan) (*ceio.Simulator, *ceio.FaultInjector, *ceio.Auditor) {
+	t.Helper()
+	s, err := ceio.NewCEIOSimulatorE(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.AttachAuditor(50 * ceio.Microsecond)
+	ij, err := s.InjectFaults(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, ij, a
+}
+
+// Baseline chaos: wire loss and corruption plus periodic DMA stalls and
+// CPU stalls. Traffic must keep flowing and every invariant must hold.
+func TestChaosWireAndStalls(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 11
+	plan := ceio.FaultPlan{
+		Seed:            101,
+		WireDropRate:    0.02,
+		WireCorruptRate: 0.01,
+		DMAStall:        ceio.FaultEpisode{PeriodNs: 400_000, DurationNs: 30_000},
+		CPUStall:        ceio.FaultEpisode{PeriodNs: 250_000, DurationNs: 20_000},
+		CPUStallNs:      5_000,
+	}
+	s, ij, a := chaosSim(t, cfg, ceio.DefaultCEIOOptions(), plan)
+	for i := 1; i <= 4; i++ {
+		s.AddFlow(ceio.KVFlow(i, 512))
+	}
+	s.AddFlow(ceio.FileTransferFlow(10, 1024, 256))
+	s.RunFor(10 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot().DeliveredPkts == 0 {
+		t.Fatal("no packets delivered under wire faults")
+	}
+	if ij.Stats.WireDrops == 0 || ij.Stats.WireCorrupts == 0 {
+		t.Fatalf("fault plan never fired: %+v", ij.Stats)
+	}
+	m := s.Machine()
+	if m.FaultDrops == 0 || m.FaultCorrupts == 0 {
+		t.Fatalf("machine did not account injected wire faults: drops=%d corrupts=%d",
+			m.FaultDrops, m.FaultCorrupts)
+	}
+	if m.DMA.FaultStalls == 0 {
+		t.Fatal("DMA stall episodes never engaged")
+	}
+}
+
+// Credit-release loss with a tiny credit pool: without reconciliation the
+// pool bleeds dry and the flows wedge on the slow path. The heartbeat
+// must reclaim every leaked credit and the ledger must balance.
+func TestChaosCreditLossReconciled(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 12
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 256
+	opts.ReclaimPeriod = 200 * ceio.Microsecond
+	plan := ceio.FaultPlan{Seed: 202, CreditLossRate: 0.05}
+	s, ij, a := chaosSim(t, cfg, opts, plan)
+	for i := 1; i <= 4; i++ {
+		s.AddFlow(ceio.KVFlow(i, 512))
+	}
+	s.RunFor(12 * ceio.Millisecond)
+	dp := s.CEIO()
+	if dp.CreditLossEvents == 0 || ij.Stats.CreditLosses == 0 {
+		t.Fatal("credit-loss injection never fired")
+	}
+	if dp.CreditsReclaimed == 0 {
+		t.Fatal("reconciliation never reclaimed a leaked credit")
+	}
+	// Quiesce: stop generators and let in-flight work plus one more
+	// reconciliation heartbeat finish, then the gap must be fully closed.
+	for i := 1; i <= 4; i++ {
+		s.PauseFlow(i)
+	}
+	s.RunFor(2 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if gap := dp.ReleaseGap(); gap != 0 {
+		t.Fatalf("release gap %d after reconciliation, want 0", gap)
+	}
+	if err := dp.AuditCredits(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Steering updates that always fail: flows must fall back to a degraded
+// slow-path pin and keep delivering — bounded retries, no livelock.
+func TestChaosSteeringFallbackNoLivelock(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 13
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 128 // small pool: demotions (and thus rule updates) happen early
+	plan := ceio.FaultPlan{Seed: 303, SteerFailRate: 1.0}
+	s, _, a := chaosSim(t, cfg, opts, plan)
+	for i := 1; i <= 2; i++ {
+		s.AddFlow(ceio.KVFlow(i, 512))
+	}
+	s.RunFor(4 * ceio.Millisecond)
+	mid := s.Snapshot().DeliveredPkts
+	s.RunFor(4 * ceio.Millisecond)
+	end := s.Snapshot().DeliveredPkts
+	dp := s.CEIO()
+	if dp.SteerFallbacks == 0 {
+		t.Fatal("steering fallback never engaged despite 100% update failure")
+	}
+	if end <= mid {
+		t.Fatalf("delivery stalled in degraded mode: %d then %d", mid, end)
+	}
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Machine().Steer.FailedUpdates == 0 {
+		t.Fatal("steering table recorded no failed updates")
+	}
+}
+
+// Delayed steering commits plus lost read completions: the stale-rule
+// check must preserve per-flow delivery order (the auditor enforces it)
+// and read retransmits must finish the slow-path drain.
+func TestChaosDelayedSteerAndReadLoss(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 14
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 128
+	opts.ReadTimeout = 10 * ceio.Microsecond
+	plan := ceio.FaultPlan{
+		Seed:         404,
+		SteerDelayNs: 8_000,
+		ReadLossRate: 0.1,
+	}
+	s, _, a := chaosSim(t, cfg, opts, plan)
+	for i := 1; i <= 2; i++ {
+		s.AddFlow(ceio.KVFlow(i, 512))
+	}
+	s.RunFor(10 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dp := s.CEIO()
+	if dp.ReadRetries == 0 {
+		t.Fatal("read retransmit never fired despite 10% completion loss")
+	}
+	if dp.StaleSteerHits == 0 {
+		t.Fatal("stale-rule reroute never fired despite delayed commits")
+	}
+	if s.Snapshot().DeliveredPkts == 0 {
+		t.Fatal("no deliveries under delayed steering")
+	}
+}
+
+// On-NIC memory pressure episodes with a shrunken elastic buffer: the
+// datapath must shed load gracefully (ECN pressure marks before drops)
+// and elastic-byte accounting must stay exact, including across a flow
+// teardown mid-pressure.
+func TestChaosNICMemPressureSheds(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 15
+	cfg.NICMemBytes = 256 * 1024
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 64 // force heavy slow-path use
+	plan := ceio.FaultPlan{
+		Seed:                   505,
+		NICMemPressure:         ceio.FaultEpisode{PeriodNs: 300_000, DurationNs: 150_000},
+		NICMemPressureFraction: 0.9,
+	}
+	s, _, a := chaosSim(t, cfg, opts, plan)
+	for i := 1; i <= 4; i++ {
+		s.AddFlow(ceio.KVFlow(i, 1024))
+	}
+	s.RunFor(5 * ceio.Millisecond)
+	s.RemoveFlow(2) // teardown while the elastic buffer is under pressure
+	s.RunFor(5 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	dp := s.CEIO()
+	if dp.PressureMarks == 0 {
+		t.Fatal("graceful shedding never marked a packet under pressure")
+	}
+	if err := dp.AuditElastic(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Everything at once, with churn. The combined storm must not panic, must
+// not wedge, and must leave every conservation invariant intact.
+func TestChaosCombinedStormWithChurn(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 16
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 256
+	opts.ReclaimPeriod = 250 * ceio.Microsecond
+	plan := ceio.FaultPlan{
+		Seed:                   606,
+		WireDropRate:           0.01,
+		CreditLossRate:         0.03,
+		SteerFailRate:          0.3,
+		SteerDelayNs:           5_000,
+		ReadLossRate:           0.05,
+		DMAStall:               ceio.FaultEpisode{PeriodNs: 500_000, DurationNs: 40_000},
+		NICMemPressure:         ceio.FaultEpisode{PeriodNs: 700_000, DurationNs: 200_000, PhaseNs: 100_000},
+		NICMemPressureFraction: 0.5,
+		CPUStall:               ceio.FaultEpisode{PeriodNs: 350_000, DurationNs: 25_000},
+		CPUStallNs:             4_000,
+	}
+	s, _, a := chaosSim(t, cfg, opts, plan)
+	for i := 1; i <= 6; i++ {
+		s.AddFlow(ceio.KVFlow(i, 512))
+	}
+	s.At(3*ceio.Millisecond, func() { s.RemoveFlow(2) })
+	s.At(4*ceio.Millisecond, func() { s.RemoveFlow(5) })
+	s.At(5*ceio.Millisecond, func() {
+		s.AddFlow(ceio.KVFlow(20, 256))
+		s.AddFlow(ceio.FileTransferFlow(21, 1024, 128))
+	})
+	s.RunFor(15 * ceio.Millisecond)
+	if s.Snapshot().DeliveredPkts == 0 {
+		t.Fatal("storm wedged the datapath")
+	}
+	// Quiesce before the final audit so the release gap can close.
+	for _, id := range []int{1, 3, 4, 6, 20, 21} {
+		s.PauseFlow(id)
+	}
+	s.RunFor(3 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if gap := s.CEIO().ReleaseGap(); gap != 0 {
+		t.Fatalf("release gap %d after quiesce, want 0", gap)
+	}
+}
+
+// Identical seed and fault plan must reproduce the run byte for byte —
+// the replay guarantee that makes chaos failures debuggable.
+func TestChaosDeterministicReplay(t *testing.T) {
+	run := func() (string, uint64, ceio.FaultStats) {
+		cfg := ceio.DefaultConfig()
+		cfg.Seed = 17
+		opts := ceio.DefaultCEIOOptions()
+		opts.TotalCredits = 256
+		plan := ceio.FaultPlan{
+			Seed:           707,
+			WireDropRate:   0.02,
+			CreditLossRate: 0.02,
+			SteerFailRate:  0.2,
+			ReadLossRate:   0.05,
+			DMAStall:       ceio.FaultEpisode{PeriodNs: 400_000, DurationNs: 30_000},
+		}
+		s, ij, _ := chaosSim(t, cfg, opts, plan)
+		tr := trace.New(1 << 16)
+		s.Machine().Tracer = tr
+		for i := 1; i <= 3; i++ {
+			s.AddFlow(ceio.KVFlow(i, 512))
+		}
+		s.RunFor(6 * ceio.Millisecond)
+		var buf bytes.Buffer
+		tr.Dump(&buf)
+		return buf.String(), s.Snapshot().DeliveredPkts, ij.Stats
+	}
+	t1, d1, f1 := run()
+	t2, d2, f2 := run()
+	if d1 != d2 || f1 != f2 {
+		t.Fatalf("replay diverged: delivered %d vs %d, faults %+v vs %+v", d1, d2, f1, f2)
+	}
+	if t1 != t2 {
+		i := 0
+		for i < len(t1) && i < len(t2) && t1[i] == t2[i] {
+			i++
+		}
+		lo := i - 100
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("trace diverged near byte %d:\n...%s\nvs\n...%s",
+			i, t1[lo:min(i+100, len(t1))], t2[lo:min(i+100, len(t2))])
+	}
+	if !strings.Contains(t1, "fault") {
+		t.Fatal("trace recorded no fault events")
+	}
+}

@@ -5,10 +5,13 @@
 //
 //	ceio-sim -arch CEIO -kv 4 -dfs 2 -echo 2 -pkt 256 -dur 20ms
 //	ceio-sim -config scenario.json [-out json]
+//	ceio-sim -arch CEIO -kv 4 -faults examples/scenarios/chaos-storm.json
 //
 // Architectures: Baseline, HostCC, ShRing, CEIO. A JSON scenario file
 // (see examples/scenarios/) describes flows with start/stop times
-// declaratively and can emit machine-readable results.
+// declaratively and can emit machine-readable results. A fault plan
+// (-faults) arms deterministic chaos injection; the run prints the
+// replay line (plan + seeds) and the invariant-auditor verdict.
 package main
 
 import (
@@ -35,9 +38,14 @@ func main() {
 	traceN := flag.Int("trace", 0, "dump the last N per-packet datapath events")
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
+	faultsPath := flag.String("faults", "", "JSON fault plan: arm deterministic chaos injection + invariant auditing")
 	flag.Parse()
 
 	if *config != "" {
+		if *faultsPath != "" {
+			fmt.Fprintln(os.Stderr, "ceio-sim: -faults applies to flag-built runs, not -config scenarios")
+			os.Exit(2)
+		}
 		runConfig(*config, *out)
 		return
 	}
@@ -54,6 +62,11 @@ func main() {
 	var tracer *ceio.Tracer
 	if *traceN > 0 {
 		tracer = sim.EnableTracing(*traceN)
+	}
+	var injector *ceio.FaultInjector
+	var auditor *ceio.Auditor
+	if *faultsPath != "" {
+		injector, auditor = armFaults(sim, *faultsPath)
 	}
 
 	id := 1
@@ -102,10 +115,56 @@ func main() {
 	}
 	fmt.Printf("  LLC: %d hits, %d misses, %d evictions; PCIe->host util %.1f%%\n",
 		m.LLC.Hits, m.LLC.Misses, m.LLC.Evictions, m.ToHost.Utilization()*100)
+	if injector != nil {
+		reportFaults(sim, injector, auditor, *seed)
+	}
 	if tracer != nil {
 		fmt.Printf("\n-- last %d datapath events --\n", *traceN)
 		tracer.Dump(os.Stdout)
 	}
+}
+
+// armFaults loads a fault plan and arms injection plus the invariant
+// auditor before any traffic runs.
+func armFaults(sim *ceio.Simulator, path string) (*ceio.FaultInjector, *ceio.Auditor) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	plan, err := ceio.LoadFaultPlan(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(1)
+	}
+	ij, err := sim.InjectFaults(plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(1)
+	}
+	return ij, sim.AttachAuditor(0)
+}
+
+// reportFaults prints the chaos summary: the replay line that reproduces
+// the run byte for byte, the injected-fault and self-healing counters,
+// and the invariant-auditor verdict.
+func reportFaults(sim *ceio.Simulator, ij *ceio.FaultInjector, auditor *ceio.Auditor, seed int64) {
+	fmt.Printf("  replay: -seed %d -faults '%s'\n", seed, ij.Plan())
+	fmt.Printf("  faults injected: %s\n", ij.Stats)
+	m := sim.Machine()
+	fmt.Printf("  wire losses seen by NIC: drops=%d corrupts=%d\n", m.FaultDrops, m.FaultCorrupts)
+	if dp := sim.CEIO(); dp != nil {
+		fmt.Printf("  self-healing: reclaimed=%d (loss-events=%d) read-retries=%d steer-retries=%d fallbacks=%d stale-hits=%d pressure-marks=%d degraded-flows=%d\n",
+			dp.CreditsReclaimed, dp.CreditLossEvents, dp.ReadRetries,
+			dp.SteerRetries, dp.SteerFallbacks, dp.StaleSteerHits, dp.PressureMarks, dp.Degraded())
+	}
+	auditor.Final()
+	if err := auditor.Err(); err != nil {
+		fmt.Printf("  AUDIT FAILED:\n%v\n", err)
+		return
+	}
+	fmt.Printf("  audit: clean (%d sweeps, 0 violations)\n", auditor.Checks)
 }
 
 // runConfig executes a declarative JSON scenario.

@@ -43,6 +43,21 @@ type Options struct {
 	// paper uses a coarse ~1s timer; this is the scaled equivalent).
 	InactiveScans int
 
+	// ReclaimPeriod is the credit-reconciliation heartbeat, armed only
+	// when fault injection is enabled: credits whose release messages were
+	// lost (host says released, controller never heard) are reclaimed
+	// after roughly this long, restoring conservation.
+	ReclaimPeriod sim.Time
+	// ReadTimeout is the slow-path DMA read retransmit timeout: a read
+	// whose completion was lost to an injected fault is reissued after it.
+	ReadTimeout sim.Time
+	// SteerRetryLimit bounds retries of a rejected steering-rule update
+	// before the controller gives up and pins the flow to the degraded
+	// slow path (a later reactivation probes the table again).
+	SteerRetryLimit int
+	// SteerRetryBase is the first retry's backoff; it doubles per attempt.
+	SteerRetryBase sim.Time
+
 	// LazyRelease enables the lazy credit release design choice of §4.1
 	// (credits return only at message-batch completion). Disabling it
 	// releases per packet — the "eager" ablation.
@@ -74,6 +89,10 @@ func DefaultOptions() Options {
 		ReactivatePeriod: 500 * sim.Microsecond,
 		ReactivateQuota:  64,
 		InactiveScans:    5,
+		ReclaimPeriod:    sim.Millisecond,
+		ReadTimeout:      25 * sim.Microsecond,
+		SteerRetryLimit:  4,
+		SteerRetryBase:   2 * sim.Microsecond,
 		LazyRelease:      true,
 		CreditRealloc:    true,
 		AsyncDrain:       true,
@@ -99,6 +118,18 @@ type flowState struct {
 	generatedAtScan uint64
 	idleScans       int // consecutive scans with no traffic
 
+	steerEpoch uint64 // bumps per desired-action change; stale async commits abort
+	degraded   bool   // steering gave up: pinned to the slow path until a retry succeeds
+	gone       bool   // torn down; residual completions surrender buffers instead of delivering
+
+	// Host/NIC release heartbeat counters for credit reconciliation:
+	// releasesSent counts credits the host driver reported released,
+	// releasesApplied those the controller actually received. A persistent
+	// gap means release messages were lost and the difference is leaked
+	// InUse credit the reconciliation timer must reclaim.
+	releasesSent    uint64
+	releasesApplied uint64
+
 	mpq *mpqState // PIAS priority tracking (MPQ scheduler only)
 }
 
@@ -116,12 +147,32 @@ type CEIO struct {
 	rrCursor int
 	mpqInUse int // shared credits consumed (MPQ scheduler only)
 
+	// faultMode is set once fault injection is armed: rings tolerate
+	// protocol violations, reconciliation runs, and graceful shedding under
+	// on-NIC memory pressure activates. Never set in fault-free runs, so
+	// their event sequence is byte-identical to before this machinery.
+	faultMode bool
+	// draining holds torn-down flows that still own on-NIC bytes (reads or
+	// writes in flight at teardown); the elastic audit counts them until
+	// their completions surrender the buffers.
+	draining             map[*flowState]struct{}
+	ringViolationsClosed uint64 // ring violations of fully torn-down flows
+
 	// Statistics.
 	FastPackets uint64
 	SlowPackets uint64
 	SlowMarks   uint64
 	Drains      uint64 // completed slow-path drains (fast path resumes)
 	NICMemDrops uint64
+
+	// Fault-handling statistics (all zero in fault-free runs).
+	CreditLossEvents uint64 // release messages lost to injection
+	CreditsReclaimed uint64 // credits recovered by reconciliation
+	ReadRetries      uint64 // slow-path reads reissued after a lost completion
+	SteerRetries     uint64 // steering updates retried after rejection
+	SteerFallbacks   uint64 // flows pinned to the degraded slow path
+	StaleSteerHits   uint64 // packets rerouted past a lagging steering rule
+	PressureMarks    uint64 // arrivals ECN-marked by graceful shedding
 }
 
 // New constructs the CEIO datapath with opts.
@@ -151,7 +202,23 @@ func New(opts Options) *CEIO {
 	if opts.InactiveScans == 0 {
 		opts.InactiveScans = d.InactiveScans
 	}
-	return &CEIO{opt: opts, flows: make(map[int]*flowState)}
+	if opts.ReclaimPeriod == 0 {
+		opts.ReclaimPeriod = d.ReclaimPeriod
+	}
+	if opts.ReadTimeout == 0 {
+		opts.ReadTimeout = d.ReadTimeout
+	}
+	if opts.SteerRetryLimit == 0 {
+		opts.SteerRetryLimit = d.SteerRetryLimit
+	}
+	if opts.SteerRetryBase == 0 {
+		opts.SteerRetryBase = d.SteerRetryBase
+	}
+	return &CEIO{
+		opt:      opts,
+		flows:    make(map[int]*flowState),
+		draining: make(map[*flowState]struct{}),
+	}
 }
 
 // Name implements iosys.Datapath.
@@ -178,11 +245,27 @@ func (c *CEIO) Attach(m *iosys.Machine) {
 	}
 }
 
+// FaultsEnabled implements iosys.FaultAware: the control plane switches to
+// degraded-tolerant operation. Software rings stop panicking on protocol
+// violations (counting them for the auditor instead), and the credit
+// reconciliation heartbeat starts. Fault-free runs never reach this, so
+// they schedule no extra events and keep their exact event ordering.
+func (c *CEIO) FaultsEnabled() {
+	c.faultMode = true
+	for _, st := range c.flows {
+		st.sw.FaultTolerant = true
+	}
+	if c.opt.MPQ == nil {
+		c.m.Eng.Every(c.opt.ReclaimPeriod, c.opt.ReclaimPeriod, c.reconcileCredits)
+	}
+}
+
 // FlowAdded allocates credits per Algorithm 1 and offloads the initial
 // fast-path steering rule to the RMT engine.
 func (c *CEIO) FlowAdded(f *iosys.Flow) {
 	c.ctrl.AddFlows(f.ID)
 	st := &flowState{f: f, sw: ring.NewSWRing(c.opt.SWRingEntries)}
+	st.sw.FaultTolerant = c.faultMode
 	if c.opt.ForceSlowPath {
 		c.ctrl.Recycle(f.ID)
 		st.mode = pkt.PathSlow
@@ -195,17 +278,72 @@ func (c *CEIO) FlowAdded(f *iosys.Flow) {
 	f.DP = st
 }
 
-// FlowRemoved releases the flow's credits back to the pool and removes
-// its steering rule.
+// FlowRemoved releases the flow's credits back to the pool, removes its
+// steering rule, and tears down its elastic-buffer residue.
 func (c *CEIO) FlowRemoved(f *iosys.Flow) {
 	st := c.flows[f.ID]
 	if st != nil && st.unreleased > 0 {
-		c.ctrl.Release(f.ID, st.unreleased)
+		c.release(st, st.unreleased)
 		st.unreleased = 0
 	}
 	c.ctrl.RemoveFlow(f.ID)
 	c.m.Steer.Uninstall(f.ID)
 	delete(c.flows, f.ID)
+	if st != nil {
+		c.teardownElastic(st)
+	}
+}
+
+// teardownElastic surrenders the elastic-buffer state a removed flow still
+// holds: waitQ packets and undelivered ring entries are dropped, returning
+// their on-NIC bytes and host buffers to the pools. Packets with a DMA
+// read still in flight stay accounted in the draining set until their
+// completions surrender them, keeping the NICMemUsed audit exact at every
+// instant of the teardown.
+func (c *CEIO) teardownElastic(st *flowState) {
+	st.gone = true
+	st.steerEpoch++ // cancel outstanding steering retries/commits
+	c.ringViolationsClosed += st.sw.Violations
+	bufBytes := int64(c.m.Cfg.IOBufSize)
+	for _, p := range st.waitQ {
+		st.onNIC--
+		c.m.NICMemUsed -= bufBytes
+		if st.f.Kind == iosys.CPUInvolved {
+			st.slowUnpushed--
+		}
+		c.m.Drop(st.f, p)
+	}
+	st.waitQ = nil
+	for {
+		p, slow, ready, ok := st.sw.PopAny()
+		if !ok {
+			break
+		}
+		if p == nil {
+			continue
+		}
+		if slow && !ready {
+			if p.Landed {
+				// Read in flight: its completion aborts and surrenders the
+				// on-NIC bytes, host buffer, and readsInFlight count.
+				continue
+			}
+			st.onNIC--
+			c.m.NICMemUsed -= bufBytes
+		}
+		c.m.Drop(st.f, p)
+	}
+	if st.onNIC > 0 {
+		c.draining[st] = struct{}{}
+	}
+}
+
+// finishDrain retires a torn-down flow from the draining set once its last
+// on-NIC packet has been surrendered.
+func (c *CEIO) finishDrain(st *flowState) {
+	if st.gone && st.onNIC == 0 {
+		delete(c.draining, st)
+	}
 }
 
 // Ingress implements the NIC-entrance decision of Figure 6: consume a
@@ -218,13 +356,91 @@ func (c *CEIO) Ingress(f *iosys.Flow, p *pkt.Packet) {
 		return // flow torn down while the packet was on the wire
 	}
 	c.m.Eng.After(c.opt.ControlOverhead, func() {
-		action := c.m.Steer.Lookup(f.ID, p.Size)
-		if action == flowsteer.ActionFastPath && c.admit(st, p) {
-			c.ingressFast(st, p)
+		if st.gone {
+			// Torn down during the controller's processing window.
+			c.m.Drop(f, p)
 			return
+		}
+		action := c.m.Steer.Lookup(f.ID, p.Size)
+		if action == flowsteer.ActionFastPath {
+			if st.mode == pkt.PathSlow {
+				// Stale rule: the demotion's table update has not taken
+				// effect yet (injected delay or rejected update). Honour the
+				// controller's decision — a fast-path DMA here would overtake
+				// the flow's queued slow-path packets and break SW-ring FIFO
+				// order. Unreachable in fault-free runs, where rule and mode
+				// change atomically.
+				c.StaleSteerHits++
+				c.ingressSlow(st, p)
+				return
+			}
+			if c.admit(st, p) {
+				c.ingressFast(st, p)
+				return
+			}
 		}
 		c.ingressSlow(st, p)
 	})
+}
+
+// setSteer moves the flow's steering rule to a, retrying rejected updates
+// with exponential backoff and falling back to a degraded slow-path pin
+// when the table stays unreachable. A new call supersedes any outstanding
+// update through the epoch guard, so delayed commits can never clobber a
+// newer decision. Fault-free, this is a synchronous table write.
+func (c *CEIO) setSteer(st *flowState, a flowsteer.Action) {
+	st.steerEpoch++
+	c.trySteer(st, a, st.steerEpoch, 0)
+}
+
+func (c *CEIO) trySteer(st *flowState, a flowsteer.Action, epoch uint64, attempt int) {
+	if st.steerEpoch != epoch || c.flows[st.f.ID] != st {
+		return // superseded, or flow gone
+	}
+	if c.m.Faults == nil {
+		c.m.Steer.SetAction(st.f.ID, a)
+		return
+	}
+	delay, fail := c.m.Faults.SteerUpdate()
+	if fail {
+		c.m.Steer.UpdateFailed()
+		if attempt >= c.opt.SteerRetryLimit {
+			c.steerFallback(st)
+			return
+		}
+		c.SteerRetries++
+		backoff := c.opt.SteerRetryBase << uint(attempt)
+		c.m.Eng.After(backoff, func() { c.trySteer(st, a, epoch, attempt+1) })
+		return
+	}
+	if delay > 0 {
+		c.m.Eng.After(delay, func() { c.commitSteer(st, a, epoch) })
+		return
+	}
+	c.m.Steer.SetAction(st.f.ID, a)
+	st.degraded = false
+}
+
+func (c *CEIO) commitSteer(st *flowState, a flowsteer.Action, epoch uint64) {
+	if st.steerEpoch != epoch || c.flows[st.f.ID] != st {
+		return
+	}
+	c.m.Steer.SetAction(st.f.ID, a)
+	st.degraded = false
+}
+
+// steerFallback is the bounded-retry exhaustion path: rather than spin on
+// an unreachable table, the flow is pinned to the slow path — degraded but
+// ordered and live, since the stale-rule check in Ingress routes around
+// whatever action the table is stuck on. A later reactivation grant
+// triggers a fresh resume attempt, which probes the table again.
+func (c *CEIO) steerFallback(st *flowState) {
+	c.SteerFallbacks++
+	st.degraded = true
+	if st.mode != pkt.PathSlow {
+		st.mode = pkt.PathSlow
+		c.m.Trace(trace.KindModeSlow, st.f.ID, 0)
+	}
 }
 
 // admit decides fast-path admission under the active scheduler: per-flow
@@ -286,6 +502,11 @@ func (c *CEIO) lowWater() int {
 
 func (c *CEIO) fastLanded(st *flowState, p *pkt.Packet) {
 	st.fastInFlight--
+	if st.gone {
+		// Torn down with the DMA write in flight: free the host buffer.
+		c.m.Drop(st.f, p)
+		return
+	}
 	if st.f.Kind == iosys.CPUBypass {
 		// CPU-bypass fast path: the memory controller retires the packet.
 		c.m.ConsumeBypass(st.f, p, nil)
@@ -307,7 +528,7 @@ func (c *CEIO) ingressSlow(st *flowState, p *pkt.Packet) {
 		// Credits exhausted: update the steering rule so subsequent
 		// packets divert without consulting the controller.
 		st.mode = pkt.PathSlow
-		c.m.Steer.SetAction(st.f.ID, flowsteer.ActionSlowPath)
+		c.setSteer(st, flowsteer.ActionSlowPath)
 		c.m.Trace(trace.KindModeSlow, st.f.ID, p.Seq)
 	}
 	// CCA trigger (§4.1 Q2): when the on-NIC backlog shows that network
@@ -318,7 +539,19 @@ func (c *CEIO) ingressSlow(st *flowState, p *pkt.Packet) {
 		c.SlowMarks++
 	}
 	bufBytes := int64(c.m.Cfg.IOBufSize)
-	if c.m.NICMemUsed+bufBytes > c.m.Cfg.NICMemBytes {
+	limit := c.m.Cfg.NICMemBytes
+	if c.faultMode {
+		// An injected on-NIC memory pressure episode shrinks the usable
+		// elastic capacity. Shed gracefully: once occupancy nears the
+		// (possibly reduced) limit, ECN-mark arrivals so senders back off
+		// ahead of the hard drop threshold.
+		limit = c.m.Faults.NICMemLimit(c.m.Eng.Now(), limit)
+		if c.m.NICMemUsed+bufBytes > limit-limit/8 && !p.Marked {
+			p.Marked = true
+			c.PressureMarks++
+		}
+	}
+	if c.m.NICMemUsed+bufBytes > limit {
 		c.NICMemDrops++
 		c.m.Drop(st.f, p)
 		return
@@ -333,6 +566,18 @@ func (c *CEIO) ingressSlow(st *flowState, p *pkt.Packet) {
 }
 
 func (c *CEIO) slowArrived(st *flowState, p *pkt.Packet) {
+	if st.gone {
+		// Flow torn down while the packet was in the on-NIC DRAM pipeline:
+		// surrender its elastic bytes and drop.
+		st.onNIC--
+		c.m.NICMemUsed -= int64(c.m.Cfg.IOBufSize)
+		if st.f.Kind == iosys.CPUInvolved {
+			st.slowUnpushed--
+		}
+		c.m.Drop(st.f, p)
+		c.finishDrain(st)
+		return
+	}
 	if st.f.Kind == iosys.CPUBypass {
 		// Event-driven drain on the NIC cores (§4.1 Q2): keep ReadAhead
 		// DMA reads outstanding without any host CPU involvement.
@@ -413,10 +658,35 @@ func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, then func()) bool {
 		return false
 	}
 	st.readsInFlight++
+	c.startRead(st, p, then)
+	return true
+}
+
+// startRead is one attempt of a slow-path read. A completion lost to an
+// injected fault times out after ReadTimeout and the read is reissued;
+// attempts are independent trials, so the retransmit loop terminates for
+// any loss rate below one. Teardown during the read surrenders the
+// packet's buffers instead of completing it.
+func (c *CEIO) startRead(st *flowState, p *pkt.Packet, then func()) {
 	c.m.Trace(trace.KindReadIssued, p.FlowID, p.Seq)
 	device := c.m.Cfg.NICMemLatency + c.m.NICMem.QueueDelay()
 	c.m.NICMem.Submit(p.Size, nil) // on-NIC DRAM read bandwidth
+	if c.m.Faults.LoseRead() {
+		c.m.Eng.After(c.opt.ReadTimeout, func() {
+			if st.gone {
+				c.abortRead(st, p)
+				return
+			}
+			c.ReadRetries++
+			c.startRead(st, p, then)
+		})
+		return
+	}
 	c.m.DMA.Read(p.Size, device, func() {
+		if st.gone {
+			c.abortRead(st, p)
+			return
+		}
 		c.m.Uncore.Submit(p.Size, nil) // host-side landing
 		c.m.HostBufLanded(p)
 		st.readsInFlight--
@@ -425,13 +695,26 @@ func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, then func()) bool {
 		then()
 		c.maybeResumeFast(st)
 	})
-	return true
+}
+
+// abortRead finishes an in-flight read whose flow was torn down: the
+// on-NIC bytes, the reserved host buffer, and the read slot all return to
+// their pools, and the packet is dropped.
+func (c *CEIO) abortRead(st *flowState, p *pkt.Packet) {
+	st.readsInFlight--
+	st.onNIC--
+	c.m.NICMemUsed -= int64(c.m.Cfg.IOBufSize)
+	c.m.Drop(st.f, p)
+	c.finishDrain(st)
 }
 
 // drainBypass keeps the event-driven drain loop running for CPU-bypass
 // flows. Without the async-drain optimisation the NIC cores fetch one
 // packet at a time (Table 4's "w/o optimization" configuration).
 func (c *CEIO) drainBypass(st *flowState) {
+	if st.gone {
+		return // teardown already surrendered the queue
+	}
 	limit := c.opt.ReadAhead
 	if !c.opt.AsyncDrain {
 		limit = 1
@@ -511,14 +794,66 @@ func (c *CEIO) OnDelivered(f *iosys.Flow, p *pkt.Packet) {
 		case c.opt.LazyRelease:
 			st.unreleased++
 		default:
-			c.ctrl.Release(f.ID, 1)
+			c.release(st, 1)
 			c.maybeResumeFast(st)
 		}
 	}
 	if c.opt.MPQ == nil && c.opt.LazyRelease && p.MsgEnd && st.unreleased > 0 {
-		c.ctrl.Release(f.ID, st.unreleased)
+		c.release(st, st.unreleased)
 		st.unreleased = 0
 		c.maybeResumeFast(st)
+	}
+}
+
+// release forwards n freed fast-path credits from the host driver to the
+// NIC-side controller. Under fault injection the release message can be
+// lost in transit — the credits then stay InUse until the reconciliation
+// heartbeat notices the gap between releasesSent and releasesApplied and
+// reclaims them. Fault-free it is exactly a CreditController.Release.
+func (c *CEIO) release(st *flowState, n int) {
+	if n <= 0 {
+		return
+	}
+	st.releasesSent += uint64(n)
+	if c.m.Faults != nil {
+		kept := 0
+		for i := 0; i < n; i++ {
+			if c.m.Faults.LoseCreditRelease() {
+				c.CreditLossEvents++
+			} else {
+				kept++
+			}
+		}
+		n = kept
+	}
+	if n > 0 {
+		st.releasesApplied += uint64(n)
+		c.ctrl.Release(st.f.ID, n)
+	}
+}
+
+// reconcileCredits is the self-healing heartbeat armed under fault
+// injection: any gap between a flow's host-side release counter and the
+// controller-side applied counter is leaked InUse credit from lost
+// release messages. Left alone it would shrink the flow's working set
+// permanently — with enough loss, wedging it on the slow path with no way
+// back. Reclaiming the difference restores credit conservation and lets
+// the flow resume the fast path.
+func (c *CEIO) reconcileCredits() {
+	for _, id := range c.ctrl.FlowIDs() {
+		st := c.flows[id]
+		if st == nil {
+			continue
+		}
+		leak := int64(st.releasesSent) - int64(st.releasesApplied)
+		if leak <= 0 {
+			continue
+		}
+		if r := c.ctrl.ReclaimInUse(id, int(leak)); r > 0 {
+			st.releasesApplied += uint64(r)
+			c.CreditsReclaimed += uint64(r)
+			c.maybeResumeFast(st)
+		}
 	}
 }
 
@@ -526,7 +861,7 @@ func (c *CEIO) OnDelivered(f *iosys.Flow, p *pkt.Packet) {
 // drained and the flow holds credits again (the phase-exclusivity rule of
 // §4.2 that keeps the SW ring ordered).
 func (c *CEIO) maybeResumeFast(st *flowState) {
-	if st.mode != pkt.PathSlow || c.opt.ForceSlowPath {
+	if st.gone || st.mode != pkt.PathSlow || c.opt.ForceSlowPath {
 		return
 	}
 	if st.f.Kind == iosys.CPUInvolved {
@@ -555,7 +890,7 @@ func (c *CEIO) maybeResumeFast(st *flowState) {
 		return
 	}
 	st.mode = pkt.PathFast
-	c.m.Steer.SetAction(st.f.ID, flowsteer.ActionFastPath)
+	c.setSteer(st, flowsteer.ActionFastPath)
 	c.m.Trace(trace.KindModeFast, st.f.ID, 0)
 	c.Drains++
 }
@@ -643,6 +978,75 @@ func (c *CEIO) reactivateRoundRobin() {
 }
 
 var _ iosys.Datapath = (*CEIO)(nil)
+var _ iosys.FaultAware = (*CEIO)(nil)
+
+// AuditCredits verifies both credit invariants: instantaneous pool
+// conservation (pool + Σ accounts == total) and the lifetime consumption
+// ledger (consumed == released + reclaimed + in-use).
+func (c *CEIO) AuditCredits() error {
+	if err := c.ctrl.CheckInvariant(); err != nil {
+		return err
+	}
+	return c.ctrl.CheckConservation()
+}
+
+// ReleaseGap returns host-reported credit releases the controller has not
+// yet received or reclaimed, summed over live flows. It is nonzero only
+// in the window between a lost release message and the next
+// reconciliation heartbeat; a gap that persists across heartbeats means
+// reconciliation is broken.
+func (c *CEIO) ReleaseGap() int {
+	g := 0
+	for _, st := range c.flows {
+		g += int(st.releasesSent - st.releasesApplied)
+	}
+	return g
+}
+
+// AuditElastic verifies elastic-buffer byte accounting: the machine's
+// NICMemUsed must equal the on-NIC packet population — live flows plus
+// torn-down flows still draining — times the I/O buffer size.
+func (c *CEIO) AuditElastic() error {
+	var onNIC int64
+	for _, st := range c.flows {
+		if st.onNIC < 0 || st.readsInFlight < 0 {
+			return fmt.Errorf("flow %d negative elastic counts: onNIC=%d reads=%d",
+				st.f.ID, st.onNIC, st.readsInFlight)
+		}
+		onNIC += int64(st.onNIC)
+	}
+	for st := range c.draining {
+		onNIC += int64(st.onNIC)
+	}
+	want := onNIC * int64(c.m.Cfg.IOBufSize)
+	if c.m.NICMemUsed != want {
+		return fmt.Errorf("elastic accounting drift: NICMemUsed=%d bytes, flows hold %d packets (%d bytes)",
+			c.m.NICMemUsed, onNIC, want)
+	}
+	return nil
+}
+
+// RingViolations returns SW-ring protocol violations counted in
+// fault-tolerant mode, across live and already-closed flows.
+func (c *CEIO) RingViolations() uint64 {
+	n := c.ringViolationsClosed
+	for _, st := range c.flows {
+		n += st.sw.Violations
+	}
+	return n
+}
+
+// Degraded returns the number of live flows pinned to the degraded slow
+// path by steering-update fallback.
+func (c *CEIO) Degraded() int {
+	n := 0
+	for _, st := range c.flows {
+		if st.degraded {
+			n++
+		}
+	}
+	return n
+}
 
 // DebugFlow returns a one-line summary of a flow's elastic state
 // (diagnostics and tests).

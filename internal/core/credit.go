@@ -46,6 +46,12 @@ type CreditController struct {
 	Released  uint64
 	DebtsPaid uint64
 	Reallocs  uint64
+	// Reclaimed counts in-use credits recovered by means other than an
+	// application release: reconciliation after a lost release message, or
+	// flow teardown with packets still in flight. Conservation over the
+	// controller's lifetime is Consumed == Released + Reclaimed + ΣInUse
+	// (see CheckConservation).
+	Reclaimed uint64
 }
 
 // NewCreditController creates a controller holding total credits in its
@@ -176,6 +182,7 @@ func (c *CreditController) RemoveFlow(id int) {
 		return
 	}
 	c.pool += f.Available + f.InUse
+	c.Reclaimed += uint64(f.InUse)
 	delete(c.flows, id)
 	for i, v := range c.order {
 		if v == id {
@@ -219,6 +226,13 @@ func (c *CreditController) Release(id, n int) {
 	}
 	f.InUse -= n
 	c.Released += uint64(n)
+	f.Available += c.settle(f, n)
+}
+
+// settle pays down f's IOUs from n freshly freed credits (ascending
+// creditor-ID order for determinism) and returns the unspent remainder,
+// which the caller credits back to the flow.
+func (c *CreditController) settle(f *FlowCredits, n int) int {
 	remaining := n
 	if f.InDebt() {
 		creditors := make([]int, 0, len(f.Owes))
@@ -245,7 +259,29 @@ func (c *CreditController) Release(id, n int) {
 			}
 		}
 	}
-	f.Available += remaining
+	return remaining
+}
+
+// ReclaimInUse forcibly recovers up to n of the flow's in-use credits
+// without an application release. The reconciliation timer calls it when
+// the host's release counter shows releases that never reached the
+// controller (a lost release message would otherwise leak the credits
+// forever). Recovered credits settle the flow's debts first, like a
+// normal release, and the remainder returns to the flow's available
+// balance. It returns the number actually reclaimed.
+func (c *CreditController) ReclaimInUse(id, n int) int {
+	f := c.flows[id]
+	if f == nil || n <= 0 {
+		return 0
+	}
+	r := min(f.InUse, n)
+	if r == 0 {
+		return 0
+	}
+	f.InUse -= r
+	c.Reclaimed += uint64(r)
+	f.Available += c.settle(f, r)
+	return r
 }
 
 // Recycle implements the active-flow strategy's reclamation (§4.1 Q3):
@@ -311,6 +347,26 @@ func (c *CreditController) CheckInvariant() error {
 	}
 	if sum != c.total {
 		return fmt.Errorf("credit leak: sum=%d total=%d", sum, c.total)
+	}
+	return nil
+}
+
+// CheckConservation verifies the lifetime credit ledger: every consumed
+// credit is either still in use by an in-flight packet, was released by
+// the application, or was reclaimed by reconciliation/teardown. A
+// shortfall means credits leaked (e.g. a lost release message that
+// reconciliation has not yet recovered); a surplus means double refund.
+func (c *CreditController) CheckConservation() error {
+	var inUse uint64
+	for _, f := range c.flows {
+		if f.InUse < 0 {
+			return fmt.Errorf("flow %d negative in-use count %d", f.ID, f.InUse)
+		}
+		inUse += uint64(f.InUse)
+	}
+	if got := c.Released + c.Reclaimed + inUse; got != c.Consumed {
+		return fmt.Errorf("credit ledger mismatch: consumed=%d released=%d reclaimed=%d in-use=%d",
+			c.Consumed, c.Released, c.Reclaimed, inUse)
 	}
 	return nil
 }

@@ -231,7 +231,7 @@ func TestCreditConservationProperty(t *testing.T) {
 			return live[int(a)%len(live)], true
 		}
 		for _, o := range ops {
-			switch o.Kind % 6 {
+			switch o.Kind % 7 {
 			case 0: // add
 				if len(live) < 16 {
 					c.AddFlows(nextID)
@@ -270,9 +270,18 @@ func TestCreditConservationProperty(t *testing.T) {
 				if id, ok := pick(o.Arg); ok {
 					c.Grant(id, int(o.Arg))
 				}
+			case 6: // reclaim (reconciliation path)
+				if id, ok := pick(o.Arg); ok {
+					r := c.ReclaimInUse(id, int(o.Arg)%8)
+					inUse[id] -= r
+				}
 			}
 			if err := c.CheckInvariant(); err != nil {
 				t.Logf("invariant: %v", err)
+				return false
+			}
+			if err := c.CheckConservation(); err != nil {
+				t.Logf("conservation: %v", err)
 				return false
 			}
 		}
@@ -281,6 +290,134 @@ func TestCreditConservationProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ReclaimInUse recovers leaked in-use credits (lost release messages),
+// settles debts first like a normal release, and never over-reclaims.
+func TestCreditReclaimInUse(t *testing.T) {
+	c := NewCreditController(100)
+	c.AddFlows(1)
+	for i := 0; i < 60; i++ {
+		c.Consume(1)
+	}
+	// Host released 20, but the release messages were lost: InUse stays 60.
+	if got := c.ReclaimInUse(1, 20); got != 20 {
+		t.Fatalf("reclaimed %d, want 20", got)
+	}
+	if c.Available(1) != 60 || c.Flow(1).InUse != 40 {
+		t.Fatalf("avail=%d inuse=%d, want 60/40", c.Available(1), c.Flow(1).InUse)
+	}
+	if c.Reclaimed != 20 {
+		t.Fatalf("Reclaimed=%d, want 20", c.Reclaimed)
+	}
+	// Reclaiming more than InUse clamps.
+	if got := c.ReclaimInUse(1, 100); got != 40 {
+		t.Fatalf("clamped reclaim = %d, want 40", got)
+	}
+	if got := c.ReclaimInUse(1, 1); got != 0 {
+		t.Fatalf("reclaim with nothing in use = %d, want 0", got)
+	}
+	if got := c.ReclaimInUse(42, 5); got != 0 {
+		t.Fatalf("reclaim on unknown flow = %d, want 0", got)
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Reclaimed credits settle IOUs before refilling the flow, exactly like
+// an application release would — a starved creditor flow is unblocked by
+// reconciliation too.
+func TestCreditReclaimSettlesDebts(t *testing.T) {
+	c := NewCreditController(100)
+	c.AddFlows(1)
+	for i := 0; i < 100; i++ {
+		c.Consume(1)
+	}
+	c.AddFlows(2) // flow 2 arrives starved: flow 1 owes it 50
+	if c.Available(2) != 0 || c.Flow(1).Owes[2] != 50 {
+		t.Fatalf("setup: avail2=%d owes=%v", c.Available(2), c.Flow(1).Owes)
+	}
+	if got := c.ReclaimInUse(1, 30); got != 30 {
+		t.Fatalf("reclaimed %d, want 30", got)
+	}
+	if c.Available(2) != 30 {
+		t.Fatalf("creditor got %d, want 30 (debt paid first)", c.Available(2))
+	}
+	if c.Available(1) != 0 {
+		t.Fatalf("debtor kept %d while still in debt", c.Available(1))
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A zero-credit flow (everything in use, releases lost) is starved until
+// a reclaim; afterwards it can consume again — the reconciliation path
+// out of starvation.
+func TestCreditStarvationRecovery(t *testing.T) {
+	c := NewCreditController(10)
+	c.AddFlows(1)
+	for i := 0; i < 10; i++ {
+		c.Consume(1)
+	}
+	if c.Consume(1) {
+		t.Fatal("starved flow consumed")
+	}
+	c.ReclaimInUse(1, 10)
+	if !c.Consume(1) {
+		t.Fatal("reclaim did not unstarve the flow")
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Burst arrival during reconciliation: new flows joining between partial
+// reclaims keep the pool and ledger consistent.
+func TestCreditBurstArrivalDuringReclaim(t *testing.T) {
+	c := NewCreditController(256)
+	c.AddFlows(1, 2)
+	for i := 0; i < 100; i++ {
+		c.Consume(1)
+	}
+	c.ReclaimInUse(1, 40)
+	c.AddFlows(3, 4, 5, 6) // burst joins mid-reconciliation
+	c.ReclaimInUse(1, 60)
+	for _, id := range []int{3, 4, 5, 6} {
+		c.Release(id, c.Flow(id).InUse) // no-ops; keep the API exercised
+	}
+	if err := c.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reclaimed != 100 {
+		t.Fatalf("Reclaimed=%d, want 100", c.Reclaimed)
+	}
+}
+
+// The lifetime ledger holds across removals too: in-use credits of a
+// removed flow count as reclaimed, and straggling releases stay no-ops.
+func TestCreditConservationLedgerAcrossRemoval(t *testing.T) {
+	c := NewCreditController(100)
+	c.AddFlows(1, 2)
+	for i := 0; i < 30; i++ {
+		c.Consume(1)
+	}
+	c.Release(1, 10)
+	c.RemoveFlow(1) // 20 still in use -> Reclaimed
+	c.Release(1, 20)
+	if err := c.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reclaimed != 20 {
+		t.Fatalf("Reclaimed=%d, want 20", c.Reclaimed)
 	}
 }
 

@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"ceio/internal/sim"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var ij *Injector
+	if ij.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if v := ij.WireVerdict(); v != VerdictDeliver {
+		t.Fatalf("nil wire verdict = %v", v)
+	}
+	if ij.LoseCreditRelease() || ij.LoseRead() {
+		t.Fatal("nil injector fired a loss")
+	}
+	if d, f := ij.SteerUpdate(); d != 0 || f {
+		t.Fatal("nil injector faulted a steer update")
+	}
+	if ij.DMAStallEnd(5) != 0 || ij.CPUStall(5) != 0 {
+		t.Fatal("nil injector injected a stall")
+	}
+	if ij.NICMemLimit(5, 100) != 100 {
+		t.Fatal("nil injector reduced NIC memory")
+	}
+}
+
+func TestEpisodeWindows(t *testing.T) {
+	e := Episode{PeriodNs: 100, DurationNs: 30, PhaseNs: 10}
+	cases := []struct {
+		t      sim.Time
+		active bool
+	}{
+		{0, false}, {9, false}, {10, true}, {39, true}, {40, false},
+		{109, false}, {110, true}, {139, true}, {140, false},
+	}
+	for _, c := range cases {
+		if e.ActiveAt(c.t) != c.active {
+			t.Fatalf("ActiveAt(%d) = %v, want %v", c.t, !c.active, c.active)
+		}
+	}
+	if end := e.EndAt(115); end != 140 {
+		t.Fatalf("EndAt(115) = %d, want 140", end)
+	}
+	if end := e.EndAt(50); end != 0 {
+		t.Fatalf("EndAt outside window = %d, want 0", end)
+	}
+	if (Episode{}).ActiveAt(1000) {
+		t.Fatal("zero episode should never be active")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{WireDropRate: -0.1},
+		{WireDropRate: 1.2},
+		{CreditLossRate: 7},
+		{WireDropRate: 0.7, WireCorruptRate: 0.6},
+		{SteerDelayNs: -1},
+		{DMAStall: Episode{PeriodNs: 10, DurationNs: 20}},
+		{NICMemPressureFraction: 2},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(p); err == nil {
+			t.Fatalf("plan %d should have been rejected: %+v", i, p)
+		}
+	}
+	if _, err := NewInjector(Plan{Seed: 3, WireDropRate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan reports enabled")
+	}
+	if (Plan{Seed: 9}).Enabled() {
+		t.Fatal("seed-only plan reports enabled")
+	}
+	for _, p := range []Plan{
+		{WireDropRate: 0.1},
+		{CreditLossRate: 0.1},
+		{SteerDelayNs: 100},
+		{DMAStall: Episode{PeriodNs: 10, DurationNs: 5}},
+		{NICMemPressure: Episode{PeriodNs: 10, DurationNs: 5}, NICMemPressureFraction: 0.5},
+		{CPUStall: Episode{PeriodNs: 10, DurationNs: 5}, CPUStallNs: 7},
+	} {
+		if !p.Enabled() {
+			t.Fatalf("plan should report enabled: %+v", p)
+		}
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	plan := Plan{Seed: 42, WireDropRate: 0.2, WireCorruptRate: 0.1, CreditLossRate: 0.3, ReadLossRate: 0.25, SteerFailRate: 0.4}
+	sample := func() []int {
+		ij, err := NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for i := 0; i < 500; i++ {
+			out = append(out, int(ij.WireVerdict()))
+			if ij.LoseCreditRelease() {
+				out = append(out, 10)
+			}
+			if ij.LoseRead() {
+				out = append(out, 11)
+			}
+			if _, fail := ij.SteerUpdate(); fail {
+				out = append(out, 12)
+			}
+		}
+		return out
+	}
+	a, b := sample(), sample()
+	if len(a) != len(b) {
+		t.Fatalf("sample lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWireVerdictRates(t *testing.T) {
+	ij, err := NewInjector(Plan{Seed: 1, WireDropRate: 0.25, WireCorruptRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ij.WireVerdict()
+	}
+	drops, corrupts := float64(ij.Stats.WireDrops)/n, float64(ij.Stats.WireCorrupts)/n
+	if drops < 0.22 || drops > 0.28 || corrupts < 0.22 || corrupts > 0.28 {
+		t.Fatalf("rates off: drop=%.3f corrupt=%.3f, want ~0.25 each", drops, corrupts)
+	}
+}
+
+func TestNICMemLimitUnderPressure(t *testing.T) {
+	ij, err := NewInjector(Plan{
+		NICMemPressure:         Episode{PeriodNs: 100, DurationNs: 50},
+		NICMemPressureFraction: 0.75,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ij.NICMemLimit(25, 1000); got != 250 {
+		t.Fatalf("limit in window = %d, want 250", got)
+	}
+	if got := ij.NICMemLimit(75, 1000); got != 1000 {
+		t.Fatalf("limit outside window = %d, want 1000", got)
+	}
+}
+
+func TestLoadPlanRoundTrip(t *testing.T) {
+	in := `{"seed":7,"wire_drop_rate":0.01,"dma_stall":{"period_ns":1000,"duration_ns":100}}`
+	p, err := LoadPlan(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.WireDropRate != 0.01 || !p.DMAStall.Enabled() {
+		t.Fatalf("loaded plan mismatch: %+v", p)
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"wire_drop_rate":2}`)); err == nil {
+		t.Fatal("invalid rate accepted")
+	}
+	if _, err := LoadPlan(strings.NewReader(`{"no_such_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if !strings.Contains(p.String(), `"seed":7`) {
+		t.Fatalf("plan string not JSON: %s", p.String())
+	}
+}

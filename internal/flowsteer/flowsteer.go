@@ -55,6 +55,10 @@ type Table struct {
 	Updates    uint64
 	Installs   uint64
 	Uninstalls uint64
+	// FailedUpdates counts SetAction attempts the simulated firmware
+	// rejected under fault injection (the controller retries them with
+	// backoff; see core's steering path).
+	FailedUpdates uint64
 }
 
 // NewTable creates an empty steering table with ActionFastPath default.
@@ -94,6 +98,10 @@ func (t *Table) SetAction(flowID int, a Action) error {
 	}
 	return nil
 }
+
+// UpdateFailed records a rule update the firmware rejected (fault
+// injection); the table itself is unchanged.
+func (t *Table) UpdateFailed() { t.FailedUpdates++ }
 
 // Lookup matches a packet of size bytes from flowID and returns the
 // action, updating the matched rule's hit counters.

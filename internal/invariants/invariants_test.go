@@ -1,0 +1,104 @@
+package invariants_test
+
+import (
+	"strings"
+	"testing"
+
+	"ceio/internal/core"
+	"ceio/internal/invariants"
+	"ceio/internal/iosys"
+	"ceio/internal/pkt"
+	"ceio/internal/sim"
+)
+
+func kvSpec(id, size int) iosys.FlowSpec {
+	return iosys.FlowSpec{
+		ID:      id,
+		Kind:    iosys.CPUInvolved,
+		PktSize: size,
+		MsgPkts: 4,
+		Cost:    iosys.CostModel{PerPacket: 250 * sim.Nanosecond, ZeroCopy: true},
+	}
+}
+
+// A clean fault-free run must audit clean: the auditor is only useful if
+// it stays silent when nothing is wrong.
+func TestAuditorCleanRun(t *testing.T) {
+	dp := core.New(core.DefaultOptions())
+	m := iosys.NewMachine(iosys.DefaultConfig(), dp)
+	a := invariants.Attach(m, 50*sim.Microsecond)
+	for i := 1; i <= 4; i++ {
+		m.AddFlow(kvSpec(i, 512))
+	}
+	m.Run(3 * sim.Millisecond)
+	m.RemoveFlow(2)
+	m.Run(5 * sim.Millisecond)
+	a.Final()
+	if a.Checks == 0 {
+		t.Fatal("auditor never swept")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean run reported violations: %v", err)
+	}
+}
+
+// Corrupting the machine's elastic-byte counter behind the datapath's
+// back must be caught by the next sweep.
+func TestAuditorCatchesElasticDrift(t *testing.T) {
+	dp := core.New(core.DefaultOptions())
+	m := iosys.NewMachine(iosys.DefaultConfig(), dp)
+	a := invariants.Attach(m, 50*sim.Microsecond)
+	m.AddFlow(kvSpec(1, 512))
+	m.Run(1 * sim.Millisecond)
+	m.NICMemUsed += int64(m.Cfg.IOBufSize) // simulated accounting bug
+	m.Run(2 * sim.Millisecond)
+	if a.Count() == 0 {
+		t.Fatal("injected elastic drift went unnoticed")
+	}
+	found := false
+	for _, v := range a.Violations() {
+		if v.Rule == "elastic-bytes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected an elastic-bytes violation, got: %v", a.Err())
+	}
+	m.NICMemUsed -= int64(m.Cfg.IOBufSize) // undo so Final's bounds check is about drift only
+}
+
+// A forged out-of-order delivery must produce a delivery-order violation,
+// and the report must be a structured record, not a panic.
+func TestAuditorCatchesOrderViolation(t *testing.T) {
+	dp := core.New(core.DefaultOptions())
+	m := iosys.NewMachine(iosys.DefaultConfig(), dp)
+	a := invariants.Attach(m, 50*sim.Microsecond)
+	f := m.AddFlow(kvSpec(1, 512))
+	m.Run(1 * sim.Millisecond)
+	// Replay an already-delivered sequence number through the observer
+	// chain by invoking the hook the way Machine.Deliver does.
+	m.OnDeliver(f, &pkt.Packet{FlowID: 1, Seq: 0})
+	if a.Count() == 0 {
+		t.Fatal("replayed sequence number went unnoticed")
+	}
+	if err := a.Err(); err == nil || !strings.Contains(err.Error(), "delivery-order") {
+		t.Fatalf("want delivery-order violation, got %v", err)
+	}
+}
+
+// Violation retention is capped but counting is not.
+func TestAuditorRetentionCap(t *testing.T) {
+	dp := core.New(core.DefaultOptions())
+	m := iosys.NewMachine(iosys.DefaultConfig(), dp)
+	a := invariants.Attach(m, 10*sim.Microsecond)
+	m.AddFlow(kvSpec(1, 512))
+	m.Run(500 * sim.Microsecond)
+	m.NICMemUsed = -1 // every subsequent sweep violates the bounds check
+	m.Run(5 * sim.Millisecond)
+	if a.Count() <= 64 {
+		t.Fatalf("want >64 total violations, got %d", a.Count())
+	}
+	if got := len(a.Violations()); got > 64 {
+		t.Fatalf("retention cap breached: %d records", got)
+	}
+}

@@ -21,6 +21,7 @@ type Core struct {
 	EmptyPolls uint64
 	Processed  uint64
 	BusyTime   sim.Time
+	StallTime  sim.Time // injected CPU stall time absorbed by this core
 }
 
 // maxIdleBackoff caps the poll back-off for long-idle cores so thousands
@@ -65,6 +66,12 @@ func (c *Core) loop() {
 	var total sim.Time
 	for _, p := range batch {
 		total += c.m.PacketCPUCost(c.flow, p)
+	}
+	// Injected per-core stall (IRQ storm, co-tenant preemption): the batch
+	// takes longer, backpressuring the ring and, transitively, the wire.
+	if stall := c.m.Faults.CPUStall(c.m.Eng.Now()); stall > 0 {
+		c.StallTime += stall
+		total += stall
 	}
 	c.m.Eng.After(total, func() {
 		c.BusyTime += total

@@ -5,6 +5,7 @@ import (
 
 	"ceio/internal/bufpool"
 	"ceio/internal/cache"
+	"ceio/internal/faults"
 	"ceio/internal/flowsteer"
 	"ceio/internal/pcie"
 	"ceio/internal/pkt"
@@ -76,6 +77,15 @@ type Machine struct {
 	// NICMemUsed tracks elastic-buffer occupancy in bytes.
 	NICMemUsed int64
 
+	// Faults, when set via SetFaults, injects deterministic faults at the
+	// machine's hook points (wire loss/corruption here; DMA stalls in the
+	// PCIe engine; control-plane faults in the datapath).
+	Faults *faults.Injector
+	// FaultDrops / FaultCorrupts count frames lost to injected wire
+	// faults (corrupted frames fail the NIC's FCS check and are dropped).
+	FaultDrops    uint64
+	FaultCorrupts uint64
+
 	// Aggregate metrics.
 	Delivered     stats.Meter
 	InvolvedMeter stats.Meter // CPU-involved deliveries only
@@ -98,12 +108,22 @@ func (m *Machine) Trace(kind trace.Kind, flowID int, seq uint64) {
 }
 
 // NewMachine builds a machine and attaches the datapath. Invalid
-// configurations panic: a machine is always constructed at program setup,
-// where failing loudly beats propagating errors through every test and
-// experiment.
+// configurations panic: tests and experiments construct machines at
+// program setup, where failing loudly beats propagating errors. Library
+// consumers embedding the simulator should use NewMachineE instead.
 func NewMachine(cfg Config, dp Datapath) *Machine {
-	if err := cfg.Validate(); err != nil {
+	m, err := NewMachineE(cfg, dp)
+	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// NewMachineE builds a machine and attaches the datapath, reporting an
+// invalid configuration as an error instead of panicking.
+func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("iosys: building machine: %w", err)
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	m := &Machine{
@@ -128,7 +148,29 @@ func NewMachine(cfg Config, dp Datapath) *Machine {
 		m.HostPool = bufpool.New(cfg.HostBuffers, cfg.IOBufSize)
 	}
 	dp.Attach(m)
-	return m
+	return m, nil
+}
+
+// FaultAware is implemented by datapaths that react to fault injection
+// being enabled (arming reconciliation timers, switching rings into
+// fault-tolerant mode).
+type FaultAware interface {
+	FaultsEnabled()
+}
+
+// SetFaults arms deterministic fault injection on this machine: the wire,
+// the PCIe DMA engine, the CPU cores, and (via FaultAware) the datapath's
+// control plane all begin consulting ij. Call it before traffic starts so
+// the whole run is covered; a nil ij is a no-op.
+func (m *Machine) SetFaults(ij *faults.Injector) {
+	if ij == nil {
+		return
+	}
+	m.Faults = ij
+	m.DMA.Faults = ij
+	if fa, ok := m.DP.(FaultAware); ok {
+		fa.FaultsEnabled()
+	}
 }
 
 // ReserveHostBuf obtains a pooled host I/O buffer for p, recording it on
@@ -178,14 +220,24 @@ func (m *Machine) releaseHostBuf(p *pkt.Packet) {
 // rule here), a CPU core is dedicated for CPU-involved flows (§2.3), and
 // the packet generator begins.
 func (m *Machine) AddFlow(spec FlowSpec) *Flow {
+	f, err := m.AddFlowE(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// AddFlowE is AddFlow with invalid specs (duplicate flow IDs,
+// non-positive packet sizes) reported as errors instead of panics.
+func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	if _, dup := m.Flows[spec.ID]; dup {
-		panic(fmt.Sprintf("iosys: duplicate flow id %d", spec.ID))
+		return nil, fmt.Errorf("iosys: adding flow: duplicate flow id %d", spec.ID)
+	}
+	if spec.PktSize <= 0 {
+		return nil, fmt.Errorf("iosys: adding flow %d: packet size must be positive, got %d", spec.ID, spec.PktSize)
 	}
 	if spec.MsgPkts < 1 {
 		spec.MsgPkts = 1
-	}
-	if spec.PktSize <= 0 {
-		panic("iosys: flow packet size must be positive")
 	}
 	rate := spec.InitialRate
 	if rate <= 0 {
@@ -208,7 +260,7 @@ func (m *Machine) AddFlow(spec FlowSpec) *Flow {
 		c.start()
 	}
 	m.scheduleNextPacket(f)
-	return f
+	return f, nil
 }
 
 // PauseFlow stops a flow's generator without tearing the flow down (used
@@ -329,6 +381,21 @@ func (m *Machine) emit(f *Flow) {
 	}
 	m.RxWire.Submit(p.Size+m.Cfg.EthOverhead, func() {
 		p.Arrival = m.Eng.Now()
+		// Injected wire faults: a dropped frame never reaches the NIC; a
+		// corrupted one fails the FCS check in the MAC and is discarded
+		// there. Either way the sender's CCA observes the loss.
+		switch m.Faults.WireVerdict() {
+		case faults.VerdictDrop:
+			m.FaultDrops++
+			m.Trace(trace.KindFault, p.FlowID, p.Seq)
+			m.Drop(f, p)
+			return
+		case faults.VerdictCorrupt:
+			m.FaultCorrupts++
+			m.Trace(trace.KindFault, p.FlowID, p.Seq)
+			m.Drop(f, p)
+			return
+		}
 		m.Trace(trace.KindArrive, p.FlowID, p.Seq)
 		m.Eng.After(m.Cfg.NICPipelineCost, func() { m.DP.Ingress(f, p) })
 	})

@@ -8,6 +8,7 @@ package pcie
 
 import (
 	"ceio/internal/cache"
+	"ceio/internal/faults"
 	"ceio/internal/sim"
 )
 
@@ -94,12 +95,17 @@ type Engine struct {
 	maxReads    int
 	pendingR    []pendingRead
 
+	// Faults, when set, injects DMA stall episodes: new writes and reads
+	// are held until the stall window ends (PCIe credit exhaustion).
+	Faults *faults.Injector
+
 	// Statistics.
 	Writes          uint64
 	Reads           uint64
 	CreditStalls    uint64
 	ReadStalls      uint64
 	IIOBackpressure uint64
+	FaultStalls     uint64 // operations deferred by injected DMA stalls
 }
 
 type pendingRead struct {
@@ -146,6 +152,11 @@ func (d *Engine) OutstandingWrites() int { return d.maxCredits - d.writeCredits 
 // memory subsystem must call the supplied done function once it has
 // absorbed the data, which drains the IIO and releases the DMA credit.
 func (d *Engine) Write(size int, deliver func(done func())) {
+	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
+		d.FaultStalls++
+		d.eng.At(end, func() { d.Write(size, deliver) })
+		return
+	}
 	if d.writeCredits == 0 {
 		d.CreditStalls++
 		d.pendingW = append(d.pendingW, pendingWrite{size, deliver})
@@ -205,6 +216,11 @@ func (d *Engine) retryIIOWaiters() {
 // FIFO — the shared bottleneck that caps aggregate slow-path throughput
 // when many flows drain concurrently.
 func (d *Engine) Read(size int, deviceLatency sim.Time, done func()) {
+	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
+		d.FaultStalls++
+		d.eng.At(end, func() { d.Read(size, deviceLatency, done) })
+		return
+	}
 	if d.readCredits == 0 {
 		d.ReadStalls++
 		d.pendingR = append(d.pendingR, pendingRead{size, deviceLatency, done})

@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"fmt"
+
 	"ceio/internal/pkt"
 )
 
@@ -27,11 +29,22 @@ type SWRing struct {
 	head    uint64
 	tail    uint64
 
+	// FaultTolerant converts MarkReady protocol violations from process
+	// aborts into counted, reported events. The fault-injection substrate
+	// enables it: under injected faults (duplicate or straggling DMA
+	// completions after a teardown) an out-of-window MarkReady is an
+	// expected degraded-mode event the invariant auditor reports, not an
+	// internal bug worth killing the simulation for.
+	FaultTolerant bool
+
 	// Statistics.
 	FastPushed uint64
 	SlowPushed uint64
 	Delivered  uint64
 	MaxFill    int
+	// Violations counts MarkReady protocol violations observed in
+	// fault-tolerant mode (out-of-window or fast-path marks).
+	Violations uint64
 }
 
 // NewSWRing creates a software ring with the given entry count.
@@ -83,17 +96,31 @@ func (r *SWRing) PushSlow(p *pkt.Packet) (idx uint64, ok bool) {
 }
 
 // MarkReady flips a slow-path entry to consumable once its DMA read into
-// host memory completed. Marking an already-consumed or out-of-range entry
-// panics: it would indicate a protocol violation in the buffer manager.
+// host memory completed. Marking an already-consumed or out-of-range
+// entry is a protocol violation in the buffer manager: it panics, unless
+// the ring is FaultTolerant, in which case the violation is counted and
+// the mark discarded (see MarkReadyChecked).
 func (r *SWRing) MarkReady(idx uint64) {
+	if err := r.MarkReadyChecked(idx); err != nil && !r.FaultTolerant {
+		panic(err)
+	}
+}
+
+// MarkReadyChecked is MarkReady with the protocol violation reported as
+// an error instead of a panic. A violating mark is discarded and counted
+// in Violations; the ring state is unchanged.
+func (r *SWRing) MarkReadyChecked(idx uint64) error {
 	if idx < r.head || idx >= r.tail {
-		panic("ring: MarkReady outside live window")
+		r.Violations++
+		return fmt.Errorf("ring: MarkReady(%d) outside live window [%d, %d)", idx, r.head, r.tail)
 	}
 	e := r.slot(idx)
 	if !e.Slow {
-		panic("ring: MarkReady on fast-path entry")
+		r.Violations++
+		return fmt.Errorf("ring: MarkReady(%d) on fast-path entry", idx)
 	}
 	e.Ready = true
+	return nil
 }
 
 // PeekHead returns the head entry without consuming, or nil when empty.
@@ -122,6 +149,21 @@ func (r *SWRing) PopReady() *pkt.Packet {
 	r.head++
 	r.Delivered++
 	return p
+}
+
+// PopAny consumes the head entry regardless of readiness — the flow
+// teardown path, which must surrender every queued packet. It returns the
+// entry's packet, its location flag, and its readiness; ok=false when the
+// ring is empty.
+func (r *SWRing) PopAny() (p *pkt.Packet, slow, ready bool, ok bool) {
+	if r.Len() == 0 {
+		return nil, false, false, false
+	}
+	e := r.slot(r.head)
+	p, slow, ready = e.Pkt, e.Slow, e.Ready
+	e.Pkt = nil
+	r.head++
+	return p, slow, ready, true
 }
 
 // At returns the live entry at ring index idx (from PushSlow or the head

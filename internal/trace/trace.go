@@ -27,10 +27,11 @@ const (
 	KindDropped                // discarded
 	KindModeFast               // flow resumed the fast path (drain done)
 	KindModeSlow               // flow demoted to the slow path
+	KindFault                  // lost to an injected fault (wire drop/corruption)
 )
 
 var kindNames = [...]string{
-	"arrive", "fast", "slow", "landed", "read", "deliver", "drop", "mode-fast", "mode-slow",
+	"arrive", "fast", "slow", "landed", "read", "deliver", "drop", "mode-fast", "mode-slow", "fault",
 }
 
 func (k Kind) String() string {
