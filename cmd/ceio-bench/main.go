@@ -3,12 +3,17 @@
 //
 // Usage:
 //
-//	ceio-bench [-quick] [experiment ...]
+//	ceio-bench [-quick] [-parallel N] [-seeds N] [experiment ...]
 //	ceio-bench -list
 //
 // With no arguments it runs every experiment ("all"). Experiment names
 // follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
 // table4, limits, ablation.
+//
+// Every simulation run is an independent single-threaded engine, so
+// -parallel N fans runs (sweep points, whole experiments, and -seeds
+// replicas) across N workers while the rendered tables stay
+// byte-identical to a -parallel 1 run at the same seed.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"ceio/internal/experiments"
+	"ceio/internal/runner"
 )
 
 func main() {
@@ -26,8 +32,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for independent runs (1 = serial)")
+	seeds := flag.Int("seeds", 1, "seed replicas per measurement: scalars report min/mean/max, latency histograms merge")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: ceio-bench [-quick] [-seed N] [experiment ...]\nexperiments: %s\n",
+		fmt.Fprintf(os.Stderr, "usage: ceio-bench [-quick] [-seed N] [-parallel N] [-seeds N] [experiment ...]\nexperiments: %s\n",
 			strings.Join(experiments.Names(), ", "))
 		flag.PrintDefaults()
 	}
@@ -42,6 +50,10 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Machine.Seed = *seed
+	cfg.Seeds = *seeds
+	pool := runner.NewPool(*parallel)
+	defer pool.Close()
+	cfg.Pool = pool
 
 	names := flag.Args()
 	if len(names) == 0 {

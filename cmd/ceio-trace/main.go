@@ -6,6 +6,11 @@
 //
 //	ceio-trace -scenario dynamic -method CEIO > ceio-dynamic.csv
 //	ceio-trace -scenario burst -method ShRing
+//	ceio-trace -seeds 5 -parallel 4 -method CEIO   # mean with min/max band
+//
+// With -seeds N above one, the scenario runs once per seed (replicas
+// fan across -parallel workers) and each metric column reports the
+// cross-seed mean plus _min/_max band columns for plotting noise bands.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"strconv"
 
 	"ceio/internal/experiments"
+	"ceio/internal/runner"
+	"ceio/internal/stats"
 	"ceio/internal/workload"
 )
 
@@ -24,6 +31,8 @@ func main() {
 	method := flag.String("method", "CEIO", "Baseline | HostCC | ShRing | CEIO")
 	quick := flag.Bool("quick", false, "short run")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	seeds := flag.Int("seeds", 1, "seed replicas: emit mean plus min/max band columns")
+	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for seed replicas")
 	flag.Parse()
 
 	var me workload.Method
@@ -55,10 +64,25 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Machine.Seed = *seed
-	res := experiments.Fig10Series(cfg, me, burst)
+	cfg.Seeds = *seeds
+	pool := runner.NewPool(*parallel)
+	defer pool.Close()
+	cfg.Pool = pool
+
+	reps := experiments.Fig10SeriesSeeds(cfg, me, burst)
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
+
+	if len(reps) == 1 {
+		writeSingle(w, reps[0])
+		return
+	}
+	writeBanded(w, reps)
+}
+
+// writeSingle emits the original single-seed layout.
+func writeSingle(w *csv.Writer, res workload.DynamicResult) {
 	w.Write([]string{"time_us", "involved_mpps", "total_gbps", "llc_miss_rate"})
 	mpps := res.Series.InvolvedMpps.Points
 	gbps := res.Series.TotalGbps.Points
@@ -74,6 +98,60 @@ func main() {
 		}
 		if i < len(miss) {
 			row[3] = strconv.FormatFloat(miss[i].V, 'f', 4, 64)
+		}
+		w.Write(row)
+	}
+}
+
+// writeBanded emits per-interval mean/min/max across the seed replicas.
+// Intervals are aligned by index: the sampler fires on a fixed cadence,
+// so index i is the same simulated time in every replica.
+func writeBanded(w *csv.Writer, reps []workload.DynamicResult) {
+	w.Write([]string{
+		"time_us",
+		"involved_mpps", "involved_mpps_min", "involved_mpps_max",
+		"total_gbps", "total_gbps_min", "total_gbps_max",
+		"llc_miss_rate", "llc_miss_rate_min", "llc_miss_rate_max",
+	})
+	series := func(r workload.DynamicResult) []*stats.Series {
+		return []*stats.Series{&r.Series.InvolvedMpps, &r.Series.TotalGbps, &r.Series.MissRate}
+	}
+	n := len(reps[0].Series.InvolvedMpps.Points)
+	for _, r := range reps {
+		if len(r.Series.InvolvedMpps.Points) < n {
+			n = len(r.Series.InvolvedMpps.Points)
+		}
+	}
+	prec := []int{3, 3, 4}
+	for i := 0; i < n; i++ {
+		row := []string{strconv.FormatFloat(reps[0].Series.InvolvedMpps.Points[i].T.Micros(), 'f', 1, 64)}
+		for si := 0; si < 3; si++ {
+			var min, max, sum float64
+			cnt := 0
+			for _, r := range reps {
+				pts := series(r)[si].Points
+				if i >= len(pts) {
+					continue
+				}
+				v := pts[i].V
+				if cnt == 0 || v < min {
+					min = v
+				}
+				if cnt == 0 || v > max {
+					max = v
+				}
+				sum += v
+				cnt++
+			}
+			mean := 0.0
+			if cnt > 0 {
+				mean = sum / float64(cnt)
+			}
+			row = append(row,
+				strconv.FormatFloat(mean, 'f', prec[si], 64),
+				strconv.FormatFloat(min, 'f', prec[si], 64),
+				strconv.FormatFloat(max, 'f', prec[si], 64),
+			)
 		}
 		w.Write(row)
 	}

@@ -101,8 +101,9 @@ func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
 		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
 	}
 	if size > c.capacity {
-		// A buffer that can never fit bypasses the cache entirely.
-		c.Misses++
+		// A buffer that can never fit bypasses the cache entirely. The
+		// miss is NOT counted here: the consumer's later Consume/Probe on
+		// the non-resident ID charges it exactly once, at read time.
 		if c.onEvict != nil {
 			c.onEvict(id)
 		}

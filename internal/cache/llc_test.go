@@ -84,6 +84,51 @@ func TestLLCOversizeBypasses(t *testing.T) {
 	}
 }
 
+// TestLLCOversizeMissCountedOnce pins the hit/miss accounting of the
+// bypass path: a buffer larger than the DDIO region never becomes
+// resident, and the miss is charged exactly once — when the consumer
+// reads it — not a second time at insert. (Regression: InsertIO used to
+// also increment Misses, double-counting every oversized buffer and
+// inflating MissRate.)
+func TestLLCOversizeMissCountedOnce(t *testing.T) {
+	c := NewLLC(100)
+	c.InsertIO(1, 200)
+	if c.Misses != 0 {
+		t.Fatalf("insert of oversized buffer charged %d misses, want 0 (miss belongs to the consumer)", c.Misses)
+	}
+	if c.Consume(1) {
+		t.Fatal("consume of non-resident oversized buffer must miss")
+	}
+	if c.Hits != 0 || c.Misses != 1 {
+		t.Fatalf("after insert+consume: hits=%d misses=%d, want 0/1", c.Hits, c.Misses)
+	}
+	if got := c.MissRate(); got != 1.0 {
+		t.Fatalf("miss rate = %v, want 1.0", got)
+	}
+
+	// Streaming (Probe) consumer, as used by CPU-bypass flows.
+	c.ResetStats()
+	c.InsertIO(2, 150)
+	if c.Probe(2) {
+		t.Fatal("probe of non-resident oversized buffer must miss")
+	}
+	if c.Hits != 0 || c.Misses != 1 {
+		t.Fatalf("bypass path: hits=%d misses=%d, want 0/1", c.Hits, c.Misses)
+	}
+
+	// A resident buffer still counts one hit, so the rate stays balanced.
+	c.InsertIO(3, 50)
+	if !c.Consume(3) {
+		t.Fatal("expected hit on resident buffer")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.Hits, c.Misses)
+	}
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", got)
+	}
+}
+
 func TestLLCDrop(t *testing.T) {
 	c := NewLLC(100)
 	c.InsertIO(1, 50)

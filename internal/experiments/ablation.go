@@ -23,30 +23,61 @@ func Ablation(cfg Config) Table {
 		Note:   "Lazy release demotes large-message CPU-bypass flows to the slow path; the MPQ strawman decays continuous RPC flows to low priority instead (§4.1); async drain overlaps PCIe reads with processing.",
 	}
 	mix := mixRatio{"1:1", 4, 4}
-	mpqCfg := core.DefaultMPQConfig()
 	variants := []struct {
 		name string
 		mod  func(*core.Options)
 	}{
 		{"full CEIO (lazy release)", func(o *core.Options) {}},
 		{"eager credit release", func(o *core.Options) { o.LazyRelease = false }},
-		{"MPQ scheduler (PIAS strawman)", func(o *core.Options) { o.MPQ = &mpqCfg }},
+		{"MPQ scheduler (PIAS strawman)", func(o *core.Options) { mpq := core.DefaultMPQConfig(); o.MPQ = &mpq }},
 		{"synchronous slow-path access", func(o *core.Options) { o.AsyncDrain = false }},
 		{"no credit reallocation", func(o *core.Options) { o.CreditRealloc = false }},
 		{"no optimizations", func(o *core.Options) { o.AsyncDrain = false; o.CreditRealloc = false }},
 	}
-	for _, v := range variants {
+
+	// One cell per variant; each run constructs its own datapath (and,
+	// for the MPQ strawman, its own MPQ config) so replicas share nothing.
+	res := runCells(cfg, len(variants), func(i int, c Config) ablationResult {
 		opts := core.DefaultOptions()
-		v.mod(&opts)
+		variants[i].mod(&opts)
 		dp := core.New(opts)
-		res := runMixedWith(cfg, dp, mix)
-		share := "-"
+		r := ablationResult{mixedResult: runMixedWith(c, dp, mix)}
 		if t := dp.FastPackets + dp.SlowPackets; t > 0 {
-			share = pct(float64(dp.FastPackets) / float64(t))
+			r.fastFrac = float64(dp.FastPackets) / float64(t)
+			r.hasShare = true
 		}
-		tb.Rows = append(tb.Rows, []string{v.name, f2(res.involvedMpps), us(res.involvedP99), share, pct(res.missRate)})
+		return r
+	})
+
+	for k, v := range variants {
+		reps := res[k]
+		share := "-"
+		var withShare []ablationResult
+		for _, r := range reps {
+			if r.hasShare {
+				withShare = append(withShare, r)
+			}
+		}
+		if len(withShare) > 0 {
+			share = statOf(withShare, func(r ablationResult) float64 { return r.fastFrac }).pct()
+		}
+		tb.Rows = append(tb.Rows, []string{
+			v.name,
+			statOf(reps, func(r ablationResult) float64 { return r.involvedMpps }).f2(),
+			statOf(reps, func(r ablationResult) float64 { return float64(r.involvedP99) }).us(),
+			share,
+			statOf(reps, func(r ablationResult) float64 { return r.missRate }).pct(),
+		})
 	}
 	return tb
+}
+
+// ablationResult augments a mixed-workload measurement with the
+// datapath's fast-path share for one variant run.
+type ablationResult struct {
+	mixedResult
+	fastFrac float64
+	hasShare bool
 }
 
 type mixedResult struct {
@@ -94,37 +125,47 @@ func SlowPathAblation(cfg Config) Table {
 	if !cfg.Quick {
 		sizes = []int{64, 512, 4096, 16384}
 	}
-	sram := cfg
-	sram.Machine.NICMemLatency = 60 * sim.Nanosecond // no internal switch hop
-	sram.Machine.NICMemBandwidth = 100e9
-	for _, size := range sizes {
-		dram := runPath(cfg, workload.MethodCEIOSlowPath, size, 0)
-		fast := runPath(sram, workload.MethodCEIOSlowPath, size, 0)
+	// Cells: (size, substrate) with substrate innermost (DRAM, then SRAM).
+	res := runCells(cfg, len(sizes)*2, func(i int, c Config) pathResult {
+		if i%2 == 1 {
+			c.Machine.NICMemLatency = 60 * sim.Nanosecond // no internal switch hop
+			c.Machine.NICMemBandwidth = 100e9
+		}
+		return runPath(c, workload.MethodCEIOSlowPath, sizes[i/2], 0)
+	})
+	for si, size := range sizes {
+		dram, sram := res[si*2], res[si*2+1]
 		tb.Rows = append(tb.Rows, []string{
 			fmt.Sprintf("%dB", size),
-			f2(dram.Gbps), us(dram.P50),
-			f2(fast.Gbps), us(fast.P50),
+			statOf(dram, gbpsOf).f2(), us(p50Of(dram)),
+			statOf(sram, gbpsOf).f2(), us(p50Of(sram)),
 		})
 	}
 	return tb
 }
 
 // All runs every experiment and returns the tables in paper order.
+// With a pool configured, whole experiments execute concurrently (their
+// leaf runs share the pool's global bound); the tables still render in
+// paper order because each group keeps its indexed slot.
 func All(cfg Config) []Table {
-	var out []Table
-	out = append(out, Fig4(cfg)...)
-	out = append(out, Fig9(cfg)...)
-	out = append(out, Fig10(cfg)...)
-	out = append(out, Fig11(cfg))
-	out = append(out, Fig12(cfg))
-	out = append(out, Table2(cfg))
-	out = append(out, Table3(cfg))
-	out = append(out, Table4(cfg))
-	out = append(out, Limits(cfg)...)
-	out = append(out, Ablation(cfg))
-	out = append(out, SlowPathAblation(cfg))
-	out = append(out, Burstiness(cfg))
-	return out
+	one := func(f func(Config) Table) func(Config) []Table {
+		return func(c Config) []Table { return []Table{f(c)} }
+	}
+	return tableGroups(cfg, []func(Config) []Table{
+		Fig4,
+		Fig9,
+		Fig10,
+		one(Fig11),
+		one(Fig12),
+		one(Table2),
+		one(Table3),
+		one(Table4),
+		Limits,
+		one(Ablation),
+		one(SlowPathAblation),
+		one(Burstiness),
+	})
 }
 
 // ByName resolves an experiment by CLI name.

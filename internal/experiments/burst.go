@@ -1,13 +1,31 @@
 package experiments
 
 import (
-	"fmt"
-
 	"ceio/internal/iosys"
 	"ceio/internal/sim"
 	"ceio/internal/stats"
 	"ceio/internal/workload"
 )
+
+// burstShape is an on/off incast pattern applied to all eight flows.
+type burstShape struct {
+	name    string
+	on, off sim.Time
+}
+
+// burstSpec is one enumerated (shape, method) run.
+type burstSpec struct {
+	shape  burstShape
+	method workload.Method
+}
+
+// burstResult is the measurement of one burst cell.
+type burstResult struct {
+	mpps  float64
+	drops uint64
+	lat   *stats.Histogram
+	miss  float64
+}
 
 // Burstiness extends the Fig. 10b burst story: eight KV flows shaped
 // into synchronized on/off incast bursts at several duty cycles. ShRing
@@ -15,16 +33,7 @@ import (
 // drops and CCA back-off — while CEIO parks the overflow in on-NIC
 // memory. The table reports per-method goodput, drop counts, and P99.
 func Burstiness(cfg Config) Table {
-	tb := Table{
-		Title:  "Burst sensitivity — 8 incast KV flows, on/off shaped (extension of Fig. 10b)",
-		Header: []string{"burst shape", "method", "Mpps", "drops", "P99 (µs)", "LLC miss"},
-		Note:   "The elastic buffer absorbs synchronized bursts that overflow ShRing's fixed budget (drops -> loss back-off).",
-	}
-	type shape struct {
-		name    string
-		on, off sim.Time
-	}
-	shapes := []shape{
+	shapes := []burstShape{
 		{"continuous", 0, 0},
 		{"500µs on / 500µs off", 500 * sim.Microsecond, 500 * sim.Microsecond},
 		{"200µs on / 800µs off", 200 * sim.Microsecond, 800 * sim.Microsecond},
@@ -33,27 +42,48 @@ func Burstiness(cfg Config) Table {
 		shapes = shapes[:2]
 	}
 	methods := []workload.Method{workload.MethodShRing, workload.MethodCEIO}
+
+	var specs []burstSpec
 	for _, sh := range shapes {
 		for _, me := range methods {
-			m := iosys.NewMachine(cfg.Machine, workload.NewDatapath(me))
-			for i := 1; i <= 8; i++ {
-				spec := workload.ERPCKV(i, 256, workload.DPDK)
-				spec.BurstOn, spec.BurstOff = sh.on, sh.off
-				m.AddFlow(spec)
-			}
-			measureWindow(m, cfg.Warmup, cfg.Measure)
-			merged := &stats.Histogram{}
-			for _, f := range m.Flows {
-				merged.Merge(&f.Latency)
-			}
-			tb.Rows = append(tb.Rows, []string{
-				sh.name, string(me),
-				f2(m.Delivered.Mpps(m.Eng.Now())),
-				fmt.Sprintf("%d", m.TotalDrops),
-				us(merged.P99()),
-				pct(m.LLC.MissRate()),
-			})
+			specs = append(specs, burstSpec{sh, me})
 		}
+	}
+	res := runCells(cfg, len(specs), func(i int, c Config) burstResult {
+		s := specs[i]
+		m := iosys.NewMachine(c.Machine, workload.NewDatapath(s.method))
+		for id := 1; id <= 8; id++ {
+			spec := workload.ERPCKV(id, 256, workload.DPDK)
+			spec.BurstOn, spec.BurstOff = s.shape.on, s.shape.off
+			m.AddFlow(spec)
+		}
+		measureWindow(m, c.Warmup, c.Measure)
+		merged := &stats.Histogram{}
+		for _, f := range m.Flows {
+			merged.Merge(&f.Latency)
+		}
+		return burstResult{
+			mpps:  m.Delivered.Mpps(m.Eng.Now()),
+			drops: m.TotalDrops,
+			lat:   merged,
+			miss:  m.LLC.MissRate(),
+		}
+	})
+
+	tb := Table{
+		Title:  "Burst sensitivity — 8 incast KV flows, on/off shaped (extension of Fig. 10b)",
+		Header: []string{"burst shape", "method", "Mpps", "drops", "P99 (µs)", "LLC miss"},
+		Note:   "The elastic buffer absorbs synchronized bursts that overflow ShRing's fixed budget (drops -> loss back-off).",
+	}
+	for k, s := range specs {
+		reps := res[k]
+		tb.Rows = append(tb.Rows, []string{
+			s.shape.name, string(s.method),
+			statOf(reps, func(r burstResult) float64 { return r.mpps }).f2(),
+			statOf(reps, func(r burstResult) float64 { return float64(r.drops) }).count(),
+			us(mergeSeeds(reps, func(r burstResult) *stats.Histogram { return r.lat }).P99()),
+			statOf(reps, func(r burstResult) float64 { return r.miss }).pct(),
+		})
 	}
 	return tb
 }

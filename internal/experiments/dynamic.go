@@ -12,50 +12,76 @@ var fig4Methods = []workload.Method{workload.MethodBaseline, workload.MethodHost
 // fig10Methods add CEIO for the end-to-end comparison.
 var fig10Methods = []workload.Method{workload.MethodBaseline, workload.MethodHostCC, workload.MethodShRing, workload.MethodCEIO}
 
-// dynamicTable runs one dynamic scenario for the given methods and lays
-// out mean/worst CPU-involved throughput and the miss rate, alongside the
-// "expected performance" reference the paper computes from the number of
-// CPU-involved flows and the single-core miss-free throughput.
-func dynamicTable(cfg Config, title string, burst bool, methods []workload.Method) Table {
-	tb := Table{
-		Title:  title,
-		Header: []string{"method", "mean Mpps", "worst interval Mpps", "LLC miss"},
+// dynSpec is one enumerated dynamic-scenario run.
+type dynSpec struct {
+	burst  bool
+	method workload.Method
+}
+
+// dynamicTables runs both dynamic scenarios (flow distribution, then
+// network burst) for the given methods as a single parallel batch and
+// lays out mean/worst CPU-involved throughput and the miss rate,
+// alongside the "expected performance" reference the paper computes
+// from the number of CPU-involved flows and the single-core miss-free
+// throughput.
+func dynamicTables(cfg Config, titles [2]string, methods []workload.Method) []Table {
+	var specs []dynSpec
+	for _, burst := range []bool{false, true} {
+		for _, me := range methods {
+			specs = append(specs, dynSpec{burst, me})
+		}
 	}
+	res := runCells(cfg, len(specs), func(i int, c Config) workload.DynamicResult {
+		s := specs[i]
+		if s.burst {
+			return workload.RunNetworkBurst(s.method, c.Machine, c.Scenario)
+		}
+		return workload.RunDynamicDistribution(s.method, c.Machine, c.Scenario)
+	})
+
 	// Expected line: with 8 CPU-involved flows sustained (the scenarios
 	// keep 8 involved on average at their start).
 	expected := workload.ExpectedMpps(cfg.Machine, 8)
-	tb.Note = fmt.Sprintf("Expected performance with 8 involved flows and infinite LLC: %.2f Mpps.", expected)
-	for _, me := range methods {
-		var res workload.DynamicResult
-		if burst {
-			res = workload.RunNetworkBurst(me, cfg.Machine, cfg.Scenario)
-		} else {
-			res = workload.RunDynamicDistribution(me, cfg.Machine, cfg.Scenario)
+	var tables []Table
+	k := 0
+	for _, title := range titles {
+		tb := Table{
+			Title:  title,
+			Header: []string{"method", "mean Mpps", "worst interval Mpps", "LLC miss"},
+			Note:   fmt.Sprintf("Expected performance with 8 involved flows and infinite LLC: %.2f Mpps.", expected),
 		}
-		tb.Rows = append(tb.Rows, []string{
-			string(me), f2(res.InvolvedMpps), f2(res.WorstMpps), pct(res.MissRate),
-		})
+		for _, me := range methods {
+			reps := res[k]
+			k++
+			tb.Rows = append(tb.Rows, []string{
+				string(me),
+				statOf(reps, func(r workload.DynamicResult) float64 { return r.InvolvedMpps }).f2(),
+				statOf(reps, func(r workload.DynamicResult) float64 { return r.WorstMpps }).f2(),
+				statOf(reps, func(r workload.DynamicResult) float64 { return r.MissRate }).pct(),
+			})
+		}
+		tables = append(tables, tb)
 	}
-	return tb
+	return tables
 }
 
 // Fig4 reproduces Figure 4, the motivation experiment: the fundamental
 // limitations of HostCC (slow response) and ShRing (fixed buffer) under
 // (a) dynamic flow distribution and (b) network burst.
 func Fig4(cfg Config) []Table {
-	return []Table{
-		dynamicTable(cfg, "Figure 4a — I/O degradation under dynamic flow distribution (motivation)", false, fig4Methods),
-		dynamicTable(cfg, "Figure 4b — I/O degradation under network burst (motivation)", true, fig4Methods),
-	}
+	return dynamicTables(cfg, [2]string{
+		"Figure 4a — I/O degradation under dynamic flow distribution (motivation)",
+		"Figure 4b — I/O degradation under network burst (motivation)",
+	}, fig4Methods)
 }
 
 // Fig10 reproduces Figure 10: the same dynamic scenarios including CEIO,
 // which avoids both limitations (paper: up to 2.0x / 2.9x speedup).
 func Fig10(cfg Config) []Table {
-	return []Table{
-		dynamicTable(cfg, "Figure 10a — I/O performance in dynamic flow distribution", false, fig10Methods),
-		dynamicTable(cfg, "Figure 10b — I/O performance in network burst", true, fig10Methods),
-	}
+	return dynamicTables(cfg, [2]string{
+		"Figure 10a — I/O performance in dynamic flow distribution",
+		"Figure 10b — I/O performance in network burst",
+	}, fig10Methods)
 }
 
 // Fig10Series returns the sampled time series behind Figure 10a for one
@@ -65,4 +91,13 @@ func Fig10Series(cfg Config, method workload.Method, burst bool) workload.Dynami
 		return workload.RunNetworkBurst(method, cfg.Machine, cfg.Scenario)
 	}
 	return workload.RunDynamicDistribution(method, cfg.Machine, cfg.Scenario)
+}
+
+// Fig10SeriesSeeds runs the scenario once per seed replica (fanned
+// across cfg.Pool) and returns the per-seed results in seed order.
+func Fig10SeriesSeeds(cfg Config, method workload.Method, burst bool) []workload.DynamicResult {
+	res := runCells(cfg, 1, func(_ int, c Config) workload.DynamicResult {
+		return Fig10Series(c, method, burst)
+	})
+	return res[0]
 }

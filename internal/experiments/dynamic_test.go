@@ -21,12 +21,17 @@ func tinyConfig() Config {
 }
 
 func TestDynamicTableStructure(t *testing.T) {
-	tb := dynamicTable(tinyConfig(), "t", false, []workload.Method{workload.MethodCEIO})
-	if len(tb.Rows) != 1 || tb.Rows[0][0] != "CEIO" {
-		t.Fatalf("rows: %v", tb.Rows)
+	tbs := dynamicTables(tinyConfig(), [2]string{"t-dist", "t-burst"}, []workload.Method{workload.MethodCEIO})
+	if len(tbs) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tbs))
 	}
-	if tb.Note == "" {
-		t.Fatal("expected the expected-performance note")
+	for _, tb := range tbs {
+		if len(tb.Rows) != 1 || tb.Rows[0][0] != "CEIO" {
+			t.Fatalf("%s rows: %v", tb.Title, tb.Rows)
+		}
+		if tb.Note == "" {
+			t.Fatal("expected the expected-performance note")
+		}
 	}
 }
 

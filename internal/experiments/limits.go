@@ -22,18 +22,23 @@ func limitsLowPressure(cfg Config) Table {
 		Header: []string{"method", "Mpps", "LLC miss"},
 		Note:   "Paper: baselines and CEIO all reach ~89 Mpps with <5% cache misses.",
 	}
-	mc := cfg.Machine
-	// Low footprint: the workload posts shallow rings, so in-flight I/O
-	// stays far below the DDIO region.
-	mc.RxRingEntries = 256
-	for _, me := range workload.AllMethods {
-		m := iosys.NewMachine(mc, workload.NewDatapath(me))
-		for i := 1; i <= 8; i++ {
-			m.AddFlow(workload.VxLAN(i))
+	type cell struct{ mpps, miss float64 }
+	res := runCells(cfg, len(workload.AllMethods), func(i int, c Config) cell {
+		// Low footprint: the workload posts shallow rings, so in-flight
+		// I/O stays far below the DDIO region.
+		c.Machine.RxRingEntries = 256
+		m := iosys.NewMachine(c.Machine, workload.NewDatapath(workload.AllMethods[i]))
+		for id := 1; id <= 8; id++ {
+			m.AddFlow(workload.VxLAN(id))
 		}
-		measureWindow(m, cfg.Warmup, cfg.Measure)
+		measureWindow(m, c.Warmup, c.Measure)
+		return cell{mpps: m.Delivered.Mpps(m.Eng.Now()), miss: m.LLC.MissRate()}
+	})
+	for k, me := range workload.AllMethods {
 		tb.Rows = append(tb.Rows, []string{
-			string(me), f2(m.Delivered.Mpps(m.Eng.Now())), pct(m.LLC.MissRate()),
+			string(me),
+			statOf(res[k], func(r cell) float64 { return r.mpps }).f2(),
+			statOf(res[k], func(r cell) float64 { return r.miss }).pct(),
 		})
 	}
 	return tb
@@ -49,20 +54,26 @@ func limitsJumbo(cfg Config) Table {
 	if cfg.Quick {
 		sizes = []int{1024, 9000}
 	}
-	for _, size := range sizes {
-		m := iosys.NewMachine(cfg.Machine, workload.NewDatapath(workload.MethodBaseline))
-		for i := 1; i <= 8; i++ {
-			spec := workload.Echo(i, size)
+	type cell struct{ gbps, miss float64 }
+	res := runCells(cfg, len(sizes), func(i int, c Config) cell {
+		m := iosys.NewMachine(c.Machine, workload.NewDatapath(workload.MethodBaseline))
+		for id := 1; id <= 8; id++ {
+			spec := workload.Echo(id, sizes[i])
 			// Echo with realistic per-packet touch cost plus payload scan.
 			spec.Cost.PerPacket = 100
 			m.AddFlow(spec)
 		}
-		measureWindow(m, cfg.Warmup, cfg.Measure)
-		now := m.Eng.Now()
-		gbps := m.Delivered.Gbps(now)
+		measureWindow(m, c.Warmup, c.Measure)
+		return cell{gbps: m.Delivered.Gbps(m.Eng.Now()), miss: m.LLC.MissRate()}
+	})
+	for k, size := range sizes {
 		line := cfg.Machine.LinkBandwidth * 8 / 1e9 * float64(size) / float64(size+cfg.Machine.EthOverhead)
+		gbps := statOf(res[k], func(r cell) float64 { return r.gbps })
 		tb.Rows = append(tb.Rows, []string{
-			fmt.Sprintf("%dB", size), f2(gbps), fmt.Sprintf("%.0f%%", gbps/line*100), pct(m.LLC.MissRate()),
+			fmt.Sprintf("%dB", size),
+			gbps.f2(),
+			gbps.fmtWith(func(v float64) string { return fmt.Sprintf("%.0f%%", v/line*100) }),
+			statOf(res[k], func(r cell) float64 { return r.miss }).pct(),
 		})
 	}
 	return tb

@@ -9,10 +9,12 @@ import (
 	"ceio/internal/workload"
 )
 
-// pathResult is one Fig. 11 / Table 3 measurement.
+// pathResult is one Fig. 11 / Table 3 measurement. Lat is the flow's
+// full latency histogram so that multi-seed replicas can be merged
+// before percentiles are taken.
 type pathResult struct {
 	Gbps float64
-	P50  int64 // ns
+	Lat  *stats.Histogram
 }
 
 // runPath measures a single RDMA-write-style flow (CPU-bypass) of the
@@ -33,8 +35,27 @@ func runPath(cfg Config, method workload.Method, msgSize int, rateCap float64) p
 	measureWindow(m, cfg.Warmup, cfg.Measure)
 	return pathResult{
 		Gbps: f.Delivered.Gbps(m.Eng.Now()),
-		P50:  f.Latency.P50(),
+		Lat:  &f.Latency,
 	}
+}
+
+// pathMethods are the three datapath variants Fig. 11 and Table 3
+// compare, in column order.
+var pathMethods = []workload.Method{workload.MethodBaseline, workload.MethodCEIO, workload.MethodCEIOSlowPath}
+
+// runPathCells measures every (size, variant) cell: raw, fast, slow per
+// size, methods innermost.
+func runPathCells(cfg Config, sizes []int, rateCap float64) [][]pathResult {
+	return runCells(cfg, len(sizes)*len(pathMethods), func(i int, c Config) pathResult {
+		return runPath(c, pathMethods[i%len(pathMethods)], sizes[i/len(pathMethods)], rateCap)
+	})
+}
+
+func gbpsOf(r pathResult) float64 { return r.Gbps }
+
+// p50Of merges the replicas' histograms and returns the P50.
+func p50Of(reps []pathResult) int64 {
+	return mergeSeeds(reps, func(r pathResult) *stats.Histogram { return r.Lat }).P50()
 }
 
 // Fig11 reproduces Figure 11: single-flow throughput of the CEIO fast
@@ -50,16 +71,18 @@ func Fig11(cfg Config) Table {
 		Header: []string{"msg size", "ib_write_bw", "CEIO fast", "CEIO slow", "slow/fast"},
 		Note:   "Paper shape: fast path tracks ib_write_bw (flow-control overhead negligible); slow path approaches it beyond 4KB with the gap under ~22%.",
 	}
-	for _, size := range sizes {
-		raw := runPath(cfg, workload.MethodBaseline, size, 0)
-		fast := runPath(cfg, workload.MethodCEIO, size, 0)
-		slow := runPath(cfg, workload.MethodCEIOSlowPath, size, 0)
+	res := runPathCells(cfg, sizes, 0)
+	for si, size := range sizes {
+		k := si * len(pathMethods)
+		raw := statOf(res[k], gbpsOf)
+		fast := statOf(res[k+1], gbpsOf)
+		slow := statOf(res[k+2], gbpsOf)
 		gap := "-"
-		if fast.Gbps > 0 {
-			gap = fmt.Sprintf("%.0f%%", slow.Gbps/fast.Gbps*100)
+		if fast.Mean > 0 {
+			gap = fmt.Sprintf("%.0f%%", slow.Mean/fast.Mean*100)
 		}
 		tb.Rows = append(tb.Rows, []string{
-			fmt.Sprintf("%dB", size), f2(raw.Gbps), f2(fast.Gbps), f2(slow.Gbps), gap,
+			fmt.Sprintf("%dB", size), raw.f2(), fast.f2(), slow.f2(), gap,
 		})
 	}
 	return tb
@@ -78,14 +101,14 @@ func Table3(cfg Config) Table {
 		Header: []string{"msg size", "RDMA write", "fast path", "slow path", "fast/raw", "slow/raw"},
 		Note:   "Paper: CEIO adds 1.10-1.48x latency from the on-NIC control logic; slow path adds the on-NIC memory round trip.",
 	}
-	for _, size := range sizes {
-		raw := runPath(cfg, workload.MethodBaseline, size, probeRate)
-		fast := runPath(cfg, workload.MethodCEIO, size, probeRate)
-		slow := runPath(cfg, workload.MethodCEIOSlowPath, size, probeRate)
+	res := runPathCells(cfg, sizes, probeRate)
+	for si, size := range sizes {
+		k := si * len(pathMethods)
+		raw, fast, slow := p50Of(res[k]), p50Of(res[k+1]), p50Of(res[k+2])
 		tb.Rows = append(tb.Rows, []string{
-			fmt.Sprintf("%dB", size), us(raw.P50), us(fast.P50), us(slow.P50),
-			fmt.Sprintf("%.2fx", ratio64(fast.P50, raw.P50)),
-			fmt.Sprintf("%.2fx", ratio64(slow.P50, raw.P50)),
+			fmt.Sprintf("%dB", size), us(raw), us(fast), us(slow),
+			fmt.Sprintf("%.2fx", ratio64(fast, raw)),
+			fmt.Sprintf("%.2fx", ratio64(slow, raw)),
 		})
 	}
 	return tb
@@ -109,17 +132,28 @@ func Table2(cfg Config) Table {
 	for _, st := range AllStacks {
 		tb.Header = append(tb.Header, string(st)+" P99", string(st)+" P99.9")
 	}
+	// Enumerate (method, stack) cells, stacks innermost; each run yields
+	// the latency histogram merged across its eight flows, and replicas
+	// merge again across seeds before percentiles are taken.
+	res := runCells(cfg, len(fig10Methods)*len(AllStacks), func(i int, c Config) *stats.Histogram {
+		me := fig10Methods[i/len(AllStacks)]
+		st := AllStacks[i%len(AllStacks)]
+		m := iosys.NewMachine(c.Machine, workload.NewDatapath(me))
+		for id := 1; id <= 8; id++ {
+			m.AddFlow(echoSpecFor(st, id))
+		}
+		measureWindow(m, c.Warmup, c.Measure)
+		return mergedLatency(m)
+	})
+
 	type cell struct{ p99, p999 int64 }
 	base := map[Stack]cell{}
+	k := 0
 	for _, me := range fig10Methods {
 		row := []string{string(me)}
 		for _, st := range AllStacks {
-			m := iosys.NewMachine(cfg.Machine, workload.NewDatapath(me))
-			for i := 1; i <= 8; i++ {
-				m.AddFlow(echoSpecFor(st, i))
-			}
-			measureWindow(m, cfg.Warmup, cfg.Measure)
-			merged := mergedLatency(m)
+			merged := mergeSeeds(res[k], func(h *stats.Histogram) *stats.Histogram { return h })
+			k++
 			c := cell{merged.P99(), merged.P999()}
 			if me == workload.MethodBaseline {
 				base[st] = c

@@ -21,6 +21,12 @@ var table4Ratios = []mixRatio{
 	{"1:3", 2, 6},
 }
 
+// mixedCell is one measured (ratio, method) cell of Table 4.
+type mixedCell struct {
+	involvedMpps float64
+	bypassGbps   float64
+}
+
 // runMixed measures a mixed-flow deployment (eRPC alongside LineFS,
 // §6.3 "Performance in Mixed I/O Flows"): the CPU-involved throughput the
 // paper reports plus the bypass goodput.
@@ -55,16 +61,28 @@ func Table4(cfg Config) Table {
 	if cfg.Quick {
 		ratios = table4Ratios[:2]
 	}
-	for _, mix := range ratios {
-		base, _ := runMixed(cfg, workload.MethodBaseline, mix)
-		noopt, nooptByp := runMixed(cfg, workload.MethodCEIONoOpt, mix)
-		full, fullByp := runMixed(cfg, workload.MethodCEIO, mix)
+	methods := []workload.Method{workload.MethodBaseline, workload.MethodCEIONoOpt, workload.MethodCEIO}
+
+	// Enumerate (ratio, method) cells, methods innermost.
+	res := runCells(cfg, len(ratios)*len(methods), func(i int, c Config) mixedCell {
+		mix := ratios[i/len(methods)]
+		inv, byp := runMixed(c, methods[i%len(methods)], mix)
+		return mixedCell{involvedMpps: inv, bypassGbps: byp}
+	})
+
+	involved := func(r mixedCell) float64 { return r.involvedMpps }
+	bypass := func(r mixedCell) float64 { return r.bypassGbps }
+	for ri, mix := range ratios {
+		k := ri * len(methods)
+		base := statOf(res[k], involved)
+		noopt := statOf(res[k+1], involved)
+		full := statOf(res[k+2], involved)
 		tb.Rows = append(tb.Rows, []string{
 			mix.label,
-			fmt.Sprintf("%s (-)", f2(base)),
-			speedup(noopt, base),
-			speedup(full, base),
-			fmt.Sprintf("%s -> %s", f2(nooptByp), f2(fullByp)),
+			fmt.Sprintf("%s (-)", base.f2()),
+			speedupStat(noopt, base),
+			speedupStat(full, base),
+			fmt.Sprintf("%s -> %s", statOf(res[k+1], bypass).f2(), statOf(res[k+2], bypass).f2()),
 		})
 	}
 	return tb

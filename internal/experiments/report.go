@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"ceio/internal/iosys"
+	"ceio/internal/runner"
 	"ceio/internal/sim"
 	"ceio/internal/workload"
 )
@@ -91,6 +92,18 @@ type Config struct {
 	Warmup   sim.Time // static-run warm-up
 	Measure  sim.Time // static-run measurement window
 	Quick    bool
+
+	// Pool, when non-nil, fans independent simulation runs across its
+	// workers. A nil pool runs everything serially on the caller. Either
+	// way results are collected into index-ordered slots, so rendered
+	// output is byte-identical across parallelism levels.
+	Pool *runner.Pool
+
+	// Seeds is the number of seed replicas per measurement cell
+	// (Machine.Seed, Machine.Seed+1, ...). Zero or one means a single
+	// run; above one, scalar metrics report min/mean/max across seeds
+	// and latency histograms are merged before taking percentiles.
+	Seeds int
 }
 
 // Default returns the full-length experiment configuration.

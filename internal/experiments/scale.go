@@ -30,10 +30,18 @@ func Fig12(cfg Config) Table {
 	for _, slot := range slots {
 		tb.Header = append(tb.Header, fmt.Sprintf("slot %v", slot))
 	}
+
+	// Enumerate (count, slot) cells, slots innermost.
+	res := runCells(cfg, len(counts)*len(slots), func(i int, c Config) float64 {
+		return runFlowScale(c, counts[i/len(slots)], slots[i%len(slots)], duration)
+	})
+
+	k := 0
 	for _, n := range counts {
 		row := []string{fmt.Sprintf("%d", n)}
-		for _, slot := range slots {
-			row = append(row, f2(runFlowScale(cfg, n, slot, duration)))
+		for range slots {
+			row = append(row, statOf(res[k], func(v float64) float64 { return v }).f2())
+			k++
 		}
 		tb.Rows = append(tb.Rows, row)
 	}

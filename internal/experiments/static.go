@@ -67,6 +67,13 @@ func RunStatic(cfg Config, stack Stack, method workload.Method, pktSize int) Sta
 	}
 }
 
+// staticSpec is one enumerated Fig. 9 run: a (stack, size, method) cell.
+type staticSpec struct {
+	stack   Stack
+	method  workload.Method
+	pktSize int
+}
+
 // Fig9 reproduces Figure 9: throughput and LLC miss rate versus packet
 // size (128B-1024B) for the three stacks under all four methods. One
 // table per stack, matching the sub-figures 9a/9b/9c.
@@ -75,7 +82,25 @@ func Fig9(cfg Config) []Table {
 	if cfg.Quick {
 		sizes = []int{256, 1024}
 	}
+
+	// Enumerate run specs in render order (methods innermost, so each
+	// row's baseline occupies the first slot of its group).
+	var specs []staticSpec
+	for _, stack := range AllStacks {
+		for _, size := range sizes {
+			for _, me := range workload.AllMethods {
+				specs = append(specs, staticSpec{stack, me, size})
+			}
+		}
+	}
+	res := runCells(cfg, len(specs), func(i int, c Config) StaticResult {
+		s := specs[i]
+		return RunStatic(c, s.stack, s.method, s.pktSize)
+	})
+
+	// Render from the index-ordered slots.
 	var tables []Table
+	k := 0
 	for _, stack := range AllStacks {
 		tb := Table{
 			Title:  fmt.Sprintf("Figure 9 — %s: throughput and LLC miss rate vs packet size", stack),
@@ -87,13 +112,15 @@ func Fig9(cfg Config) []Table {
 		}
 		for _, size := range sizes {
 			row := []string{fmt.Sprintf("%dB", size)}
-			var base float64
+			var base Stat
 			for _, me := range workload.AllMethods {
-				r := RunStatic(cfg, stack, me, size)
+				mpps := statOf(res[k], func(r StaticResult) float64 { return r.Mpps })
+				miss := statOf(res[k], func(r StaticResult) float64 { return r.MissRate })
+				k++
 				if me == workload.MethodBaseline {
-					base = r.Mpps
+					base = mpps
 				}
-				row = append(row, speedup(r.Mpps, base), pct(r.MissRate))
+				row = append(row, speedupStat(mpps, base), miss.pct())
 			}
 			tb.Rows = append(tb.Rows, row)
 		}

@@ -56,9 +56,19 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	// Zero the vacated slot: the backing array would otherwise keep the
+	// popped event's fn closure (and everything it captures) reachable
+	// for as long as the heap's capacity survives.
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
 func (h eventHeap) peek() event        { return h[0] }
 func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }

@@ -26,6 +26,63 @@ func TestEngineOrdering(t *testing.T) {
 	}
 }
 
+// TestEngineDrainedHoldsNoEvents pins the memory behavior of the event
+// heap: popping an event must zero the vacated slot in the backing
+// array, otherwise a long run retains every popped fn closure (and the
+// object graph it captures) for the lifetime of the heap's capacity.
+func TestEngineDrainedHoldsNoEvents(t *testing.T) {
+	e := NewEngine(1)
+	const n = 64
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 1024) // captured by the closure
+		e.At(Time(i), func() { payload[0]++ })
+	}
+	grown := cap(e.heap)
+	if grown < n {
+		t.Fatalf("heap cap %d, want >= %d", grown, n)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("drained engine has %d pending events", e.Pending())
+	}
+	if len(e.heap) != 0 {
+		t.Fatalf("heap len %d after drain", len(e.heap))
+	}
+	// Every slot of the retained backing array must have been zeroed —
+	// a non-nil fn would keep its closure graph alive.
+	tail := e.heap[:cap(e.heap)]
+	for i, ev := range tail {
+		if ev.fn != nil {
+			t.Fatalf("slot %d of drained heap still references an event closure (at=%v seq=%d)", i, ev.at, ev.seq)
+		}
+		if ev.at != 0 || ev.seq != 0 {
+			t.Fatalf("slot %d not zeroed: %+v", i, ev)
+		}
+	}
+}
+
+// TestEngineInterleavedPopZeroing exercises the same invariant while the
+// heap is partially full: slots between len and cap must stay zero even
+// as pushes and pops interleave.
+func TestEngineInterleavedPopZeroing(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 16; i++ {
+		e.At(Time(i), func() {})
+	}
+	for i := 0; i < 8; i++ {
+		e.Step()
+	}
+	for i := 16; i < 20; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run()
+	for i, ev := range e.heap[:cap(e.heap)] {
+		if ev.fn != nil {
+			t.Fatalf("slot %d beyond len retains a closure", i)
+		}
+	}
+}
+
 func TestEngineFIFOTieBreak(t *testing.T) {
 	e := NewEngine(1)
 	var got []int

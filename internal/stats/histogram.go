@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Histogram is a log-linear latency histogram in the style of HdrHistogram:
@@ -15,13 +16,12 @@ import (
 // Values are int64 (nanoseconds in this codebase). The zero value is ready
 // to use.
 type Histogram struct {
-	counts  map[int]uint64
-	total   uint64
-	sum     float64
-	min     int64
-	max     int64
-	hasMin  bool
-	samples int
+	counts map[int]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+	hasMin bool
 }
 
 const subBucketBits = 5 // 32 sub-buckets per power of two: <=3.1% relative error
@@ -34,7 +34,7 @@ func bucketIndex(v int64) int {
 	if v < 1<<subBucketBits {
 		return int(v)
 	}
-	exp := 63 - leadingZeros(uint64(v))
+	exp := 63 - bits.LeadingZeros64(uint64(v))
 	top := int(v >> (uint(exp) - subBucketBits)) // in [2^subBucketBits, 2^(subBucketBits+1))
 	return (exp-subBucketBits+1)<<subBucketBits + (top - 1<<subBucketBits)
 }
@@ -50,17 +50,6 @@ func bucketValue(i int) int64 {
 	low := (int64(1<<subBucketBits) + int64(sub)) << (uint(exp) - subBucketBits)
 	width := int64(1) << (uint(exp) - subBucketBits)
 	return low + width/2
-}
-
-func leadingZeros(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			break
-		}
-		n++
-	}
-	return n
 }
 
 // Record adds one observation.

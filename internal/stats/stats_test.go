@@ -80,6 +80,96 @@ func TestHistogramPercentileMonotone(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileEdgeCases pins the quantile boundary semantics:
+// q<=0 returns the lowest recorded bucket (clamped to the exact min),
+// q>=1 returns the exact max, and a single-sample histogram answers that
+// sample for every quantile.
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{10, 20, 30, 40, 5000} {
+		h.Record(v)
+	}
+	if got := h.Percentile(0); got != 10 {
+		t.Fatalf("P0 = %d, want exact min 10", got)
+	}
+	if got := h.Percentile(-0.5); got != 10 {
+		t.Fatalf("negative q = %d, want clamp to min", got)
+	}
+	if got := h.Percentile(1); got != 5000 {
+		t.Fatalf("P100 = %d, want exact max 5000", got)
+	}
+	if got := h.Percentile(2.5); got != 5000 {
+		t.Fatalf("q>1 = %d, want exact max", got)
+	}
+
+	var single Histogram
+	single.Record(12345)
+	for _, q := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := single.Percentile(q); got != 12345 {
+			t.Fatalf("single-sample P%v = %d, want 12345 (min/max clamp)", q*100, got)
+		}
+	}
+}
+
+// TestHistogramMergeConsistency checks that percentiles of a merged
+// histogram equal percentiles of one histogram that recorded the union
+// of the samples — the property the multi-seed experiment aggregation
+// relies on.
+func TestHistogramMergeConsistency(t *testing.T) {
+	var all, a, b, c Histogram
+	for i := int64(0); i < 3000; i++ {
+		v := (i*i)%7919 + 1
+		all.Record(v)
+		switch i % 3 {
+		case 0:
+			a.Record(v)
+		case 1:
+			b.Record(v)
+		case 2:
+			c.Record(v)
+		}
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&c)
+	if merged.Count() != all.Count() || merged.Min() != all.Min() || merged.Max() != all.Max() {
+		t.Fatalf("merged n=%d min=%d max=%d; all n=%d min=%d max=%d",
+			merged.Count(), merged.Min(), merged.Max(), all.Count(), all.Min(), all.Max())
+	}
+	if merged.Mean() != all.Mean() {
+		t.Fatalf("merged mean %v != %v", merged.Mean(), all.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if m, w := merged.Percentile(q), all.Percentile(q); m != w {
+			t.Fatalf("P%v: merged %d != direct %d", q*100, m, w)
+		}
+	}
+}
+
+// TestBucketIndexMatchesReference checks the bits.LeadingZeros64-based
+// bucket mapping against a bit-by-bit reference implementation.
+func TestBucketIndexMatchesReference(t *testing.T) {
+	ref := func(v uint64) int {
+		n := 0
+		for i := 63; i >= 0; i-- {
+			if v&(1<<uint(i)) != 0 {
+				break
+			}
+			n++
+		}
+		return n
+	}
+	for _, v := range []int64{32, 33, 63, 64, 1 << 10, 1<<20 + 7, 1<<62 + 999} {
+		exp := 63 - ref(uint64(v))
+		top := int(v >> (uint(exp) - subBucketBits))
+		want := (exp-subBucketBits+1)<<subBucketBits + (top - 1<<subBucketBits)
+		if got := bucketIndex(v); got != want {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	var a, b Histogram
 	for i := int64(1); i <= 100; i++ {
