@@ -30,6 +30,7 @@ import (
 	"ceio/internal/iosys"
 	"ceio/internal/pkt"
 	"ceio/internal/sim"
+	"ceio/internal/tenant"
 	"ceio/internal/workload"
 )
 
@@ -79,6 +80,32 @@ func DefaultCEIOOptions() CEIOOptions { return core.DefaultOptions() }
 // 200 Gbps links, 6 MB of LLC for DDIO, 2 KB I/O buffers, PCIe 5.0 x16,
 // BlueField-3-class on-NIC memory.
 func DefaultConfig() Config { return iosys.DefaultConfig() }
+
+// Multi-tenant DDIO partitioning (internal/tenant): set Config.Tenancy
+// to carve the DDIO region into per-tenant LLC partitions and tag flows
+// with FlowSpec.Tenant. TenantDynamic arms the IOCA-style repartitioning
+// controller.
+type (
+	// TenancyConfig declares a machine's tenants and partitioning mode.
+	TenancyConfig = tenant.Config
+	// TenantSpec declares one tenant and its way quota.
+	TenantSpec = tenant.Spec
+	// TenantMode selects shared, static, or dynamic partition management.
+	TenantMode = tenant.Mode
+)
+
+// Tenant partitioning modes.
+const (
+	TenantShared  = tenant.ModeShared
+	TenantStatic  = tenant.ModeStatic
+	TenantDynamic = tenant.ModeDynamic
+)
+
+// ParseTenantSpecs parses a CLI tenant layout like "kv=2,bulk=3".
+func ParseTenantSpecs(s string) ([]TenantSpec, error) { return tenant.ParseSpecs(s) }
+
+// ParseTenantMode parses a CLI mode name (shared|static|dynamic).
+func ParseTenantMode(s string) (TenantMode, error) { return tenant.ParseMode(s) }
 
 // Architecture selects the I/O datapath under test.
 type Architecture string
@@ -194,13 +221,28 @@ type Snapshot struct {
 	InvolvedMpps  float64
 	BypassGbps    float64
 	LLCMissRate   float64
-	Drops         uint64
+	// IIOOccupancy is the bytes currently staged in the IIO buffer ahead
+	// of the LLC commit port (the host-congestion gauge HostCC watches).
+	IIOOccupancy int64
+	Drops        uint64
+	// Tenants holds per-tenant metrics when the machine is tenanted
+	// (Config.Tenancy set), in registry order; nil otherwise.
+	Tenants []TenantSnapshot
+}
+
+// TenantSnapshot is one tenant's slice of a Snapshot.
+type TenantSnapshot struct {
+	ID          string
+	Ways        int // current way allocation (0 in shared mode)
+	LLCMissRate float64
+	Mpps        float64
+	Gbps        float64
 }
 
 // Snapshot captures the current aggregate metrics.
 func (s *Simulator) Snapshot() Snapshot {
 	now := s.m.Eng.Now()
-	return Snapshot{
+	sn := Snapshot{
 		Arch:          s.dp.Name(),
 		Time:          now,
 		DeliveredPkts: s.m.Delivered.Packets,
@@ -209,14 +251,33 @@ func (s *Simulator) Snapshot() Snapshot {
 		InvolvedMpps:  s.m.InvolvedMeter.Mpps(now),
 		BypassGbps:    s.m.BypassMeter.Gbps(now),
 		LLCMissRate:   s.m.LLC.MissRate(),
+		IIOOccupancy:  s.m.IIO.Occupancy(),
 		Drops:         s.m.TotalDrops,
 	}
+	if s.m.Tenants != nil {
+		for _, t := range s.m.Tenants.Tenants() {
+			sn.Tenants = append(sn.Tenants, TenantSnapshot{
+				ID:          t.ID,
+				Ways:        t.Ways,
+				LLCMissRate: t.MissRate(),
+				Mpps:        t.Delivered.Mpps(now),
+				Gbps:        t.Delivered.Gbps(now),
+			})
+		}
+	}
+	return sn
 }
 
-// String renders a one-line summary.
+// String renders a one-line summary (plus one line per tenant when the
+// machine is tenanted).
 func (sn Snapshot) String() string {
-	return fmt.Sprintf("[%s @ %v] %.2f Mpps / %.2f Gbps (involved %.2f Mpps, bypass %.2f Gbps), LLC miss %.1f%%, drops %d",
-		sn.Arch, sn.Time, sn.TotalMpps, sn.TotalGbps, sn.InvolvedMpps, sn.BypassGbps, sn.LLCMissRate*100, sn.Drops)
+	s := fmt.Sprintf("[%s @ %v] %.2f Mpps / %.2f Gbps (involved %.2f Mpps, bypass %.2f Gbps), LLC miss %.1f%%, IIO occ %dB, drops %d",
+		sn.Arch, sn.Time, sn.TotalMpps, sn.TotalGbps, sn.InvolvedMpps, sn.BypassGbps, sn.LLCMissRate*100, sn.IIOOccupancy, sn.Drops)
+	for _, t := range sn.Tenants {
+		s += fmt.Sprintf("\n  tenant %-8s ways=%d  %.2f Mpps / %.2f Gbps, LLC miss %.1f%%",
+			t.ID, t.Ways, t.Mpps, t.Gbps, t.LLCMissRate*100)
+	}
+	return s
 }
 
 // KVFlow returns an eRPC-style key-value flow (CPU-involved, zero-copy;

@@ -108,3 +108,49 @@ func TestLoadScenarioFacade(t *testing.T) {
 		t.Fatalf("result: %+v", res)
 	}
 }
+
+// Tenancy misconfiguration must surface as descriptive errors through the
+// facade's error-returning constructors, not panics deep in the machine.
+func TestTenancyValidationThroughFacade(t *testing.T) {
+	bad := ceio.DefaultConfig()
+	bad.Tenancy = &ceio.TenancyConfig{
+		Mode:  ceio.TenantStatic,
+		Specs: []ceio.TenantSpec{{ID: "kv", Ways: 4}, {ID: "bulk", Ways: 4}},
+	}
+	if _, err := ceio.NewSimulatorE(bad, ceio.ArchBaseline); err == nil {
+		t.Fatal("over-quota tenant config accepted")
+	} else if !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("error does not name the quota problem: %v", err)
+	}
+
+	dup := ceio.DefaultConfig()
+	dup.Tenancy = &ceio.TenancyConfig{
+		Mode:  ceio.TenantStatic,
+		Specs: []ceio.TenantSpec{{ID: "kv", Ways: 1}, {ID: "kv", Ways: 1}},
+	}
+	if _, err := ceio.NewSimulatorE(dup, ceio.ArchBaseline); err == nil {
+		t.Fatal("duplicate tenant IDs accepted")
+	}
+
+	good := ceio.DefaultConfig()
+	good.Tenancy = &ceio.TenancyConfig{
+		Mode:  ceio.TenantStatic,
+		Specs: []ceio.TenantSpec{{ID: "kv", Ways: 2}, {ID: "bulk", Ways: 2}},
+	}
+	s, err := ceio.NewSimulatorE(good, ceio.ArchBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ceio.KVFlow(1, 256)
+	f.Tenant = "nosuch"
+	if _, err := s.AddFlowE(f); err == nil {
+		t.Fatal("flow tagged with an undeclared tenant accepted")
+	}
+
+	plain := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchBaseline)
+	f2 := ceio.KVFlow(1, 256)
+	f2.Tenant = "kv"
+	if _, err := plain.AddFlowE(f2); err == nil {
+		t.Fatal("tenant-tagged flow accepted on an untenanted machine")
+	}
+}

@@ -307,3 +307,67 @@ func TestChaosDeterministicReplay(t *testing.T) {
 		t.Fatal("trace recorded no fault events")
 	}
 }
+
+// Chaos on a tenanted machine: NIC memory pressure plus CPU stalls while
+// the dynamic repartitioner migrates LLC ways between tenants. The
+// auditor's tenant-partition rule checks on every sweep that waymasks
+// stay disjoint and conserved, no tenant drops below its floor, and the
+// per-tenant partition occupancies sum to the machine's LLC occupancy.
+func TestChaosTenants(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 17
+	cfg.NICMemBytes = 256 * 1024
+	cfg.Tenancy = &ceio.TenancyConfig{
+		Mode: ceio.TenantDynamic,
+		Specs: []ceio.TenantSpec{
+			{ID: "kv", Ways: 2},
+			{ID: "bulk", Ways: 3},
+		},
+	}
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 64 // force heavy slow-path use under pressure
+	plan := ceio.FaultPlan{
+		Seed:                   808,
+		NICMemPressure:         ceio.FaultEpisode{PeriodNs: 300_000, DurationNs: 150_000},
+		NICMemPressureFraction: 0.9,
+		CPUStall:               ceio.FaultEpisode{PeriodNs: 350_000, DurationNs: 25_000},
+		CPUStallNs:             4_000,
+	}
+	s, ij, a := chaosSim(t, cfg, opts, plan)
+	id := 1
+	for i := 0; i < 3; i++ {
+		f := ceio.KVFlow(id, 512)
+		f.Tenant = "kv"
+		s.AddFlow(f)
+		id++
+	}
+	for i := 0; i < 2; i++ {
+		f := ceio.FileTransferFlow(id, 1024, 256)
+		f.Tenant = "bulk"
+		s.AddFlow(f)
+		id++
+	}
+	s.RunFor(5 * ceio.Millisecond)
+	s.RemoveFlow(2) // tenant flow teardown mid-pressure
+	s.RunFor(5 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Machine().Tenants.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	dp := s.CEIO()
+	if err := dp.AuditElastic(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Snapshot().DeliveredPkts == 0 {
+		t.Fatal("no packets delivered on the tenanted machine under faults")
+	}
+	if dp.PressureMarks == 0 {
+		t.Fatal("graceful shedding never marked a packet under pressure")
+	}
+	if ij.Stats.CPUStalls == 0 {
+		t.Fatalf("fault plan never fired: %+v", ij.Stats)
+	}
+}

@@ -8,7 +8,7 @@
 //
 // With no arguments it runs every experiment ("all"). Experiment names
 // follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
-// table4, limits, ablation.
+// table4, limits, ablation, burst, tenants.
 //
 // Every simulation run is an independent single-threaded engine, so
 // -parallel N fans runs (sweep points, whole experiments, and -seeds
@@ -25,6 +25,7 @@ import (
 
 	"ceio/internal/experiments"
 	"ceio/internal/runner"
+	"ceio/internal/tenant"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for independent runs (1 = serial)")
 	seeds := flag.Int("seeds", 1, "seed replicas per measurement: scalars report min/mean/max, latency histograms merge")
+	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ceio-bench [-quick] [-seed N] [-parallel N] [-seeds N] [experiment ...]\nexperiments: %s\n",
 			strings.Join(experiments.Names(), ", "))
@@ -51,6 +53,14 @@ func main() {
 	}
 	cfg.Machine.Seed = *seed
 	cfg.Seeds = *seeds
+	if *tenantLayout != "" {
+		specs, err := tenant.ParseSpecs(*tenantLayout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-bench: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.TenantLayout = specs
+	}
 	pool := runner.NewPool(*parallel)
 	defer pool.Close()
 	cfg.Pool = pool

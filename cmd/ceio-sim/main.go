@@ -6,6 +6,7 @@
 //	ceio-sim -arch CEIO -kv 4 -dfs 2 -echo 2 -pkt 256 -dur 20ms
 //	ceio-sim -config scenario.json [-out json]
 //	ceio-sim -arch CEIO -kv 4 -faults examples/scenarios/chaos-storm.json
+//	ceio-sim -arch Baseline -kv 2 -dfs 2 -tenants kv=2,bulk=3 -tenants-mode dynamic
 //
 // Architectures: Baseline, HostCC, ShRing, CEIO. A JSON scenario file
 // (see examples/scenarios/) describes flows with start/stop times
@@ -39,6 +40,8 @@ func main() {
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
 	faultsPath := flag.String("faults", "", "JSON fault plan: arm deterministic chaos injection + invariant auditing")
+	tenants := flag.String("tenants", "", "partition the DDIO LLC per tenant, e.g. \"kv=2,bulk=3\" (kv/echo flows -> first tenant, dfs -> second)")
+	tenantsMode := flag.String("tenants-mode", "dynamic", "tenant partition management: shared | static | dynamic")
 	flag.Parse()
 
 	if *config != "" {
@@ -58,7 +61,32 @@ func main() {
 	}
 	cfg := ceio.DefaultConfig()
 	cfg.Seed = *seed
-	sim := ceio.NewSimulator(cfg, ceio.Architecture(*arch))
+	// Tenant tags for flag-built flows: CPU-involved flows (kv, echo) land
+	// in the first declared tenant, file transfers (dfs) in the second.
+	var involvedTenant, bypassTenant string
+	if *tenants != "" {
+		specs, err := ceio.ParseTenantSpecs(*tenants)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+			os.Exit(2)
+		}
+		mode, err := ceio.ParseTenantMode(*tenantsMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Tenancy = &ceio.TenancyConfig{Mode: mode, Specs: specs}
+		involvedTenant = specs[0].ID
+		bypassTenant = specs[0].ID
+		if len(specs) > 1 {
+			bypassTenant = specs[1].ID
+		}
+	}
+	sim, err := ceio.NewSimulatorE(cfg, ceio.Architecture(*arch))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(2)
+	}
 	var tracer *ceio.Tracer
 	if *traceN > 0 {
 		tracer = sim.EnableTracing(*traceN)
@@ -71,11 +99,15 @@ func main() {
 
 	id := 1
 	for i := 0; i < *kv; i++ {
-		sim.AddFlow(ceio.KVFlow(id, *pkt))
+		s := ceio.KVFlow(id, *pkt)
+		s.Tenant = involvedTenant
+		sim.AddFlow(s)
 		id++
 	}
 	for i := 0; i < *dfs; i++ {
-		sim.AddFlow(ceio.FileTransferFlow(id, *pkt, 0))
+		s := ceio.FileTransferFlow(id, *pkt, 0)
+		s.Tenant = bypassTenant
+		sim.AddFlow(s)
 		id++
 	}
 	for i := 0; i < *echo; i++ {
@@ -83,7 +115,9 @@ func main() {
 		if size == 0 {
 			size = 512
 		}
-		sim.AddFlow(ceio.EchoFlow(id, size))
+		s := ceio.EchoFlow(id, size)
+		s.Tenant = involvedTenant
+		sim.AddFlow(s)
 		id++
 	}
 	if id == 1 {

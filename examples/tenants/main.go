@@ -1,0 +1,83 @@
+// tenants demonstrates the multi-tenant DDIO partitioning subsystem: a
+// latency-sensitive KV tenant (the victim) shares the receiver with a
+// file-transfer tenant (the antagonist) whose streaming chunks flood the
+// DDIO region. On a shared LLC the antagonist evicts the victim's
+// buffers before the CPU reads them; with dynamic repartitioning the
+// IOCA-style controller migrates LLC ways to the victim — even from a
+// deliberately starved starting allocation — restoring its hit rate and
+// tail latency while the antagonist, which thrashes regardless of
+// capacity, is squeezed to its floor.
+//
+//	go run ./examples/tenants [-kv 2] [-bulk 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ceio"
+)
+
+func main() {
+	kvN := flag.Int("kv", 2, "victim KV flows (tenant \"kv\")")
+	bulkN := flag.Int("bulk", 2, "antagonist file-transfer flows (tenant \"bulk\")")
+	flag.Parse()
+
+	fmt.Printf("victim KV tenant (%d flows) vs file-transfer antagonist (%d flows)\n\n", *kvN, *bulkN)
+	fmt.Printf("%-28s %12s %12s %14s %10s %12s\n",
+		"scheme", "victim miss", "victim Mpps", "victim P99 µs", "ways kv", "ways moved")
+
+	schemes := []struct {
+		name string
+		cfg  *ceio.TenancyConfig
+	}{
+		{"shared LLC (no partitioning)", &ceio.TenancyConfig{
+			Mode:  ceio.TenantShared,
+			Specs: []ceio.TenantSpec{{ID: "kv", Ways: 3}, {ID: "bulk", Ways: 2}},
+		}},
+		// Dynamic mode starts the victim at a single way; the controller
+		// must discover that the victim benefits from capacity and the
+		// antagonist does not.
+		{"dynamic repartitioning", &ceio.TenancyConfig{
+			Mode:  ceio.TenantDynamic,
+			Specs: []ceio.TenantSpec{{ID: "kv", Ways: 1}, {ID: "bulk", Ways: 4}},
+		}},
+	}
+	for _, sc := range schemes {
+		cfg := ceio.DefaultConfig()
+		cfg.Tenancy = sc.cfg
+		sim := ceio.NewSimulator(cfg, ceio.ArchBaseline)
+		id := 1
+		for i := 0; i < *kvN; i++ {
+			f := ceio.KVFlow(id, 256)
+			f.Tenant = "kv"
+			sim.AddFlow(f)
+			id++
+		}
+		for i := 0; i < *bulkN; i++ {
+			f := ceio.FileTransferFlow(id, 1024, 512)
+			f.Tenant = "bulk"
+			sim.AddFlow(f)
+			id++
+		}
+		sim.RunFor(10 * ceio.Millisecond)
+		sim.ResetMetrics()
+		sim.RunFor(25 * ceio.Millisecond)
+
+		m := sim.Machine()
+		kv, _ := m.Tenants.Lookup("kv")
+		var p99 int64
+		for fid, f := range m.Flows {
+			if fid <= *kvN {
+				if v := f.Latency.P99(); v > p99 {
+					p99 = v
+				}
+			}
+		}
+		fmt.Printf("%-28s %11.1f%% %12.2f %14.2f %10d %12d\n",
+			sc.name, kv.MissRate()*100, kv.Delivered.Mpps(sim.Now()), float64(p99)/1e3,
+			kv.Ways, m.Tenants.WaysMoved)
+	}
+	fmt.Println("\nThe dynamic run starts from kv=1 of 6 ways; every way the victim holds at the")
+	fmt.Println("end was migrated at runtime by the repartitioning controller.")
+}

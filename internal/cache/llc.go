@@ -19,35 +19,63 @@ type BufID uint64
 type node struct {
 	id         BufID
 	size       int64
+	part       int
 	prev, next *node
 }
 
-// LLC models the DDIO-accessible region of the last-level cache as an
-// LRU-ordered set of resident I/O buffers with a byte-capacity bound.
-type LLC struct {
-	capacity  int64
-	occupancy int64
-
-	entries map[BufID]*node
-	head    *node // most recently inserted/touched
-	tail    *node // least recently used: next eviction victim
-
-	// onEvict, if set, is invoked for each buffer evicted to DRAM.
-	onEvict func(BufID)
-
-	// Statistics.
+// PartStats counts one partition's cache events.
+type PartStats struct {
 	Insertions uint64
 	Evictions  uint64
 	Hits       uint64
 	Misses     uint64
 }
 
-// NewLLC creates an LLC model with the given DDIO-region capacity in bytes.
+// partition is one way-granular slice of the DDIO region: an independent
+// LRU list with its own byte capacity. The unpartitioned cache is exactly
+// one partition spanning the whole region.
+type partition struct {
+	capacity  int64
+	occupancy int64
+	head      *node // most recently inserted/touched
+	tail      *node // least recently used: next eviction victim
+	stats     PartStats
+}
+
+// LLC models the DDIO-accessible region of the last-level cache as an
+// LRU-ordered set of resident I/O buffers with a byte-capacity bound.
+// The region can be carved into way-granular partitions (CAT-style cache
+// allocation for multi-tenant isolation); each partition runs its own LRU
+// replacement, and the per-partition occupancies always sum to the
+// region's total occupancy.
+type LLC struct {
+	capacity  int64
+	occupancy int64
+
+	entries map[BufID]*node
+	parts   []partition
+
+	// onEvict, if set, is invoked for each buffer evicted to DRAM.
+	onEvict func(BufID)
+
+	// Statistics (sums over all partitions).
+	Insertions uint64
+	Evictions  uint64
+	Hits       uint64
+	Misses     uint64
+}
+
+// NewLLC creates an LLC model with the given DDIO-region capacity in
+// bytes, initially one partition spanning the whole region.
 func NewLLC(capacityBytes int64) *LLC {
 	if capacityBytes <= 0 {
 		panic("cache: LLC capacity must be positive")
 	}
-	return &LLC{capacity: capacityBytes, entries: make(map[BufID]*node)}
+	return &LLC{
+		capacity: capacityBytes,
+		entries:  make(map[BufID]*node),
+		parts:    []partition{{capacity: capacityBytes}},
+	}
 }
 
 // SetEvictHandler registers a callback invoked for every eviction.
@@ -56,7 +84,7 @@ func (c *LLC) SetEvictHandler(fn func(BufID)) { c.onEvict = fn }
 // Capacity returns the DDIO-region size in bytes.
 func (c *LLC) Capacity() int64 { return c.capacity }
 
-// Occupancy returns the bytes currently resident.
+// Occupancy returns the bytes currently resident across all partitions.
 func (c *LLC) Occupancy() int64 { return c.occupancy }
 
 // Resident reports whether id is currently cached.
@@ -65,70 +93,72 @@ func (c *LLC) Resident(id BufID) bool { _, ok := c.entries[id]; return ok }
 // Len returns the number of resident buffers.
 func (c *LLC) Len() int { return len(c.entries) }
 
-func (c *LLC) pushFront(n *node) {
-	n.prev = nil
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
+// Partitions returns the number of partitions (1 when unpartitioned).
+func (c *LLC) Partitions() int { return len(c.parts) }
+
+// PartCapacity returns partition i's byte capacity.
+func (c *LLC) PartCapacity(i int) int64 { return c.parts[i].capacity }
+
+// PartOccupancy returns partition i's resident bytes.
+func (c *LLC) PartOccupancy(i int) int64 { return c.parts[i].occupancy }
+
+// PartStats returns a copy of partition i's event counters.
+func (c *LLC) PartStats(i int) PartStats { return c.parts[i].stats }
+
+// Partition carves the region into len(capacities) partitions with the
+// given byte capacities. It is a setup-time operation: the cache must be
+// empty, and the capacities must be non-negative and sum to the region's
+// total capacity (so partition occupancies always sum to the machine
+// total).
+func (c *LLC) Partition(capacities []int64) error {
+	if len(c.entries) != 0 {
+		return fmt.Errorf("cache: partitioning a non-empty LLC (%d resident buffers)", len(c.entries))
 	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
+	if len(capacities) == 0 {
+		return fmt.Errorf("cache: partitioning into zero partitions")
 	}
+	var sum int64
+	for i, cap := range capacities {
+		if cap < 0 {
+			return fmt.Errorf("cache: partition %d has negative capacity %d", i, cap)
+		}
+		sum += cap
+	}
+	if sum != c.capacity {
+		return fmt.Errorf("cache: partition capacities sum to %d, want LLC capacity %d", sum, c.capacity)
+	}
+	c.parts = make([]partition, len(capacities))
+	for i, cap := range capacities {
+		c.parts[i].capacity = cap
+	}
+	return nil
 }
 
-func (c *LLC) unlink(n *node) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		c.head = n.next
+// MoveCapacity atomically transfers bytes of capacity from one partition
+// to another (a waymask update in the CAT substitution). Lines the
+// shrinking partition can no longer hold are evicted LRU-first — losing a
+// way flushes its resident lines — and returned; the eviction handler
+// also fires for each. Total capacity is conserved.
+func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []BufID) {
+	if from == to {
+		panic(fmt.Sprintf("cache: MoveCapacity from partition %d to itself", from))
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		c.tail = n.prev
+	if bytes <= 0 {
+		return nil
 	}
-	n.prev, n.next = nil, nil
-}
-
-// InsertIO models a DDIO write of one I/O buffer into the cache. If the
-// region is full, least-recently-used buffers are evicted to DRAM until the
-// new buffer fits ("subsequent packets overwrite earlier ones", §2.2). The
-// evicted buffer IDs are returned (the eviction handler also fires).
-// Inserting an already-resident buffer refreshes it to MRU.
-func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
-	if size <= 0 {
-		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
+	src, dst := &c.parts[from], &c.parts[to]
+	if bytes > src.capacity {
+		panic(fmt.Sprintf("cache: MoveCapacity %d bytes from partition %d holding %d", bytes, from, src.capacity))
 	}
-	if size > c.capacity {
-		// A buffer that can never fit bypasses the cache entirely. The
-		// miss is NOT counted here: the consumer's later Consume/Probe on
-		// the non-resident ID charges it exactly once, at read time.
-		if c.onEvict != nil {
-			c.onEvict(id)
-		}
-		return []BufID{id}
-	}
-	if n, ok := c.entries[id]; ok {
-		c.occupancy += size - n.size
-		n.size = size
-		c.unlink(n)
-		c.pushFront(n)
-	} else {
-		n := &node{id: id, size: size}
-		c.entries[id] = n
-		c.pushFront(n)
-		c.occupancy += size
-		c.Insertions++
-	}
-	for c.occupancy > c.capacity && c.tail != nil {
-		victim := c.tail
-		if victim.id == id && len(c.entries) == 1 {
-			break
-		}
-		c.unlink(victim)
+	src.capacity -= bytes
+	dst.capacity += bytes
+	for src.occupancy > src.capacity && src.tail != nil {
+		victim := src.tail
+		src.unlink(victim)
 		delete(c.entries, victim.id)
+		src.occupancy -= victim.size
 		c.occupancy -= victim.size
+		src.stats.Evictions++
 		c.Evictions++
 		evicted = append(evicted, victim.id)
 		if c.onEvict != nil {
@@ -138,48 +168,161 @@ func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
 	return evicted
 }
 
-// Consume models the CPU (or memory controller) reading and retiring one
-// I/O buffer. It returns true on an LLC hit: the buffer was still resident
-// and is freed. It returns false on a miss: the buffer was evicted to DRAM
-// before the consumer reached it, so the caller must charge a DRAM access.
-func (c *LLC) Consume(id BufID) bool {
+func (p *partition) pushFront(n *node) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *partition) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+// InsertIO models a DDIO write into partition 0 (the whole region when
+// unpartitioned); see InsertIOIn.
+func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
+	return c.InsertIOIn(0, id, size)
+}
+
+// InsertIOIn models a DDIO write of one I/O buffer into partition part.
+// If the partition is full, its least-recently-used buffers are evicted
+// to DRAM until the new buffer fits ("subsequent packets overwrite
+// earlier ones", §2.2). The evicted buffer IDs are returned (the eviction
+// handler also fires). Inserting an already-resident buffer refreshes it
+// to MRU within its home partition.
+func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
+	}
+	p := &c.parts[part]
+	if size > p.capacity {
+		// A buffer that can never fit bypasses the cache entirely (this
+		// also covers a partition shrunk to zero ways). The miss is NOT
+		// counted here: the consumer's later Consume/Probe on the
+		// non-resident ID charges it exactly once, at read time.
+		if c.onEvict != nil {
+			c.onEvict(id)
+		}
+		return []BufID{id}
+	}
+	if n, ok := c.entries[id]; ok {
+		// Refresh within the buffer's home partition (a buffer belongs to
+		// one flow, and a flow's partition is fixed for its lifetime).
+		p = &c.parts[n.part]
+		p.occupancy += size - n.size
+		c.occupancy += size - n.size
+		n.size = size
+		p.unlink(n)
+		p.pushFront(n)
+	} else {
+		n := &node{id: id, size: size, part: part}
+		c.entries[id] = n
+		p.pushFront(n)
+		p.occupancy += size
+		c.occupancy += size
+		p.stats.Insertions++
+		c.Insertions++
+	}
+	for p.occupancy > p.capacity && p.tail != nil {
+		victim := p.tail
+		if victim.id == id && victim.prev == nil {
+			// The just-inserted buffer is the only one in its partition;
+			// keep it resident even over capacity.
+			break
+		}
+		p.unlink(victim)
+		delete(c.entries, victim.id)
+		p.occupancy -= victim.size
+		c.occupancy -= victim.size
+		p.stats.Evictions++
+		c.Evictions++
+		evicted = append(evicted, victim.id)
+		if c.onEvict != nil {
+			c.onEvict(victim.id)
+		}
+	}
+	return evicted
+}
+
+// Consume is ConsumeIn against partition 0 (miss attribution when the
+// buffer was never resident).
+func (c *LLC) Consume(id BufID) bool { return c.ConsumeIn(0, id) }
+
+// ConsumeIn models the CPU (or memory controller) reading and retiring
+// one I/O buffer. It returns true on an LLC hit: the buffer was still
+// resident and is freed. It returns false on a miss: the buffer was
+// evicted to DRAM before the consumer reached it, so the caller must
+// charge a DRAM access. A hit is charged to the buffer's home partition;
+// a miss to part, the reader's own partition.
+func (c *LLC) ConsumeIn(part int, id BufID) bool {
 	n, ok := c.entries[id]
 	if !ok {
+		c.parts[part].stats.Misses++
 		c.Misses++
 		return false
 	}
-	c.unlink(n)
+	p := &c.parts[n.part]
+	p.unlink(n)
 	delete(c.entries, id)
+	p.occupancy -= n.size
 	c.occupancy -= n.size
+	p.stats.Hits++
 	c.Hits++
 	return true
 }
 
-// Peek is Consume without retiring: it classifies hit/miss and updates
-// counters but leaves a resident buffer in place (used by workloads that
-// touch a buffer multiple times).
-func (c *LLC) Peek(id BufID) bool {
+// Peek is PeekIn against partition 0.
+func (c *LLC) Peek(id BufID) bool { return c.PeekIn(0, id) }
+
+// PeekIn is ConsumeIn without retiring: it classifies hit/miss and
+// updates counters but leaves a resident buffer in place (used by
+// workloads that touch a buffer multiple times).
+func (c *LLC) PeekIn(part int, id BufID) bool {
 	if n, ok := c.entries[id]; ok {
 		// Refresh recency on touch.
-		c.unlink(n)
-		c.pushFront(n)
+		p := &c.parts[n.part]
+		p.unlink(n)
+		p.pushFront(n)
+		p.stats.Hits++
 		c.Hits++
 		return true
 	}
+	c.parts[part].stats.Misses++
 	c.Misses++
 	return false
 }
 
-// Probe classifies a read as hit or miss without retiring the buffer or
+// Probe is ProbeIn against partition 0.
+func (c *LLC) Probe(id BufID) bool { return c.ProbeIn(0, id) }
+
+// ProbeIn classifies a read as hit or miss without retiring the buffer or
 // refreshing its recency. It models the use-once streaming read of a
 // CPU-bypass consumer over a write-back cache: the line stays resident
 // (dirty) until capacity pressure evicts it, which is how bypass traffic
 // "continuously flushes the LLC" in the paper's coexistence analysis.
-func (c *LLC) Probe(id BufID) bool {
-	if _, ok := c.entries[id]; ok {
+func (c *LLC) ProbeIn(part int, id BufID) bool {
+	if n, ok := c.entries[id]; ok {
+		c.parts[n.part].stats.Hits++
 		c.Hits++
 		return true
 	}
+	c.parts[part].stats.Misses++
 	c.Misses++
 	return false
 }
@@ -188,13 +331,15 @@ func (c *LLC) Probe(id BufID) bool {
 // packet is dropped before any consumer touches it).
 func (c *LLC) Drop(id BufID) {
 	if n, ok := c.entries[id]; ok {
-		c.unlink(n)
+		p := &c.parts[n.part]
+		p.unlink(n)
 		delete(c.entries, id)
+		p.occupancy -= n.size
 		c.occupancy -= n.size
 	}
 }
 
-// MissRate returns misses/(hits+misses).
+// MissRate returns misses/(hits+misses) over all partitions.
 func (c *LLC) MissRate() float64 {
 	t := c.Hits + c.Misses
 	if t == 0 {
@@ -203,36 +348,66 @@ func (c *LLC) MissRate() float64 {
 	return float64(c.Misses) / float64(t)
 }
 
-// ResetStats zeroes the counters (the resident set is untouched), so
-// experiments can measure steady-state windows after warm-up.
+// ResetStats zeroes the counters, global and per-partition (the resident
+// set is untouched), so experiments can measure steady-state windows
+// after warm-up.
 func (c *LLC) ResetStats() {
 	c.Insertions, c.Evictions, c.Hits, c.Misses = 0, 0, 0, 0
+	for i := range c.parts {
+		c.parts[i].stats = PartStats{}
+	}
 }
 
 // checkInvariants validates internal consistency; used by tests.
 func (c *LLC) checkInvariants() error {
-	var sum int64
+	var occSum, capSum int64
+	var st PartStats
 	count := 0
 	seen := make(map[BufID]bool)
-	for n := c.head; n != nil; n = n.next {
-		if seen[n.id] {
-			return fmt.Errorf("cycle or duplicate at %d", n.id)
+	for pi := range c.parts {
+		p := &c.parts[pi]
+		var sum int64
+		pcount := 0
+		for n := p.head; n != nil; n = n.next {
+			if seen[n.id] {
+				return fmt.Errorf("cycle or duplicate at %d", n.id)
+			}
+			seen[n.id] = true
+			if n.part != pi {
+				return fmt.Errorf("buffer %d in partition %d's list but tagged %d", n.id, pi, n.part)
+			}
+			sum += n.size
+			pcount++
+			if n.next == nil && p.tail != n {
+				return fmt.Errorf("partition %d tail mismatch", pi)
+			}
 		}
-		seen[n.id] = true
-		sum += n.size
-		count++
-		if n.next == nil && c.tail != n {
-			return fmt.Errorf("tail mismatch")
+		if sum != p.occupancy {
+			return fmt.Errorf("partition %d occupancy %d != sum %d", pi, p.occupancy, sum)
 		}
+		if p.occupancy > p.capacity && pcount > 1 {
+			return fmt.Errorf("partition %d over capacity: %d > %d", pi, p.occupancy, p.capacity)
+		}
+		occSum += p.occupancy
+		capSum += p.capacity
+		st.Insertions += p.stats.Insertions
+		st.Evictions += p.stats.Evictions
+		st.Hits += p.stats.Hits
+		st.Misses += p.stats.Misses
+		count += pcount
 	}
-	if sum != c.occupancy {
-		return fmt.Errorf("occupancy %d != sum %d", c.occupancy, sum)
+	if occSum != c.occupancy {
+		return fmt.Errorf("occupancy %d != partition sum %d", c.occupancy, occSum)
+	}
+	if capSum != c.capacity {
+		return fmt.Errorf("capacity %d != partition sum %d", c.capacity, capSum)
 	}
 	if count != len(c.entries) {
-		return fmt.Errorf("list %d != map %d", count, len(c.entries))
+		return fmt.Errorf("lists %d != map %d", count, len(c.entries))
 	}
-	if c.occupancy > c.capacity && count > 1 {
-		return fmt.Errorf("over capacity: %d > %d", c.occupancy, c.capacity)
+	if st != (PartStats{Insertions: c.Insertions, Evictions: c.Evictions, Hits: c.Hits, Misses: c.Misses}) {
+		return fmt.Errorf("global counters %+v diverge from partition sums %+v",
+			PartStats{Insertions: c.Insertions, Evictions: c.Evictions, Hits: c.Hits, Misses: c.Misses}, st)
 	}
 	return nil
 }

@@ -164,6 +164,10 @@ type CEIO struct {
 	SlowMarks   uint64
 	Drains      uint64 // completed slow-path drains (fast path resumes)
 	NICMemDrops uint64
+	// TenantRejects counts fast-path admissions refused because the
+	// flow's tenant had its whole partition budget in flight (packets
+	// divert to the slow path instead of evicting co-tenants' buffers).
+	TenantRejects uint64
 
 	// Fault-handling statistics (all zero in fault-free runs).
 	CreditLossEvents uint64 // release messages lost to injection
@@ -450,6 +454,17 @@ func (c *CEIO) admit(st *flowState, p *pkt.Packet) bool {
 	if c.opt.MPQ != nil {
 		return c.mpqAdmit(st, p)
 	}
+	// On a partitioned machine the credit bound is per tenant, not
+	// global: Eq. 1 applied to the tenant's partition instead of the
+	// whole DDIO region. A tenant with its full partition budget in
+	// flight diverts to the slow path even if other tenants' credits
+	// are idle — in-flight fast-path bytes can then never exceed the
+	// partition, so a tenant cannot thrash its own (or, with the
+	// waymasks, anyone else's) allocation.
+	if !c.tenantBudgetOK(st) {
+		c.TenantRejects++
+		return false
+	}
 	if !c.ctrl.Consume(st.f.ID) {
 		return false
 	}
@@ -488,6 +503,37 @@ func (c *CEIO) unadmit(st *flowState) {
 		return
 	}
 	c.ctrl.Release(st.f.ID, 1)
+}
+
+// tenantInUse sums the fast-path credits currently in flight for the
+// tenant at registry index idx. A flow's controller InUse count is
+// exactly its in-flight fast-path packet population (Consume/Release/
+// Reclaim mirror the packet lifecycle one to one), so the tenant's
+// holdings are derived rather than double-booked — they cannot drift.
+func (c *CEIO) tenantInUse(idx int) int {
+	held := 0
+	for _, st := range c.flows {
+		if st.f.TenantIndex() == idx {
+			if f := c.ctrl.Flow(st.f.ID); f != nil {
+				held += f.InUse
+			}
+		}
+	}
+	return held
+}
+
+// tenantBudgetOK reports whether st's tenant may put another fast-path
+// buffer in flight: its in-use credits must stay below its partition
+// budget (partition bytes / buffer size — Eq. 1 per tenant). Untenanted
+// machines, shared-mode tenancy, and the MPQ strawman are unbounded
+// here (the global C_total already gates them).
+func (c *CEIO) tenantBudgetOK(st *flowState) bool {
+	reg := c.m.Tenants
+	if reg == nil || !reg.Partitioned() {
+		return true
+	}
+	idx := st.f.TenantIndex()
+	return c.tenantInUse(idx) < reg.Credits(idx, c.m.Cfg.IOBufSize)
 }
 
 // lowWater is the credit balance below which fast-path packets carry
@@ -887,6 +933,13 @@ func (c *CEIO) maybeResumeFast(st *flowState) {
 	} else if c.ctrl.Available(st.f.ID) == 0 {
 		// Resuming without credits would demote again on the next packet,
 		// thrashing the steering rule; wait for a release or grant.
+		return
+	}
+	if c.opt.MPQ == nil && !c.tenantBudgetOK(st) {
+		// The tenant's partition budget is still fully in flight:
+		// resuming would demote again immediately. Wait for releases (or
+		// for the repartitioner to grow the tenant). Not counted as a
+		// reject — this is a gate, not an admission attempt.
 		return
 	}
 	st.mode = pkt.PathFast

@@ -165,6 +165,7 @@ func All(cfg Config) []Table {
 		one(Ablation),
 		one(SlowPathAblation),
 		one(Burstiness),
+		one(Tenants),
 	})
 }
 
@@ -193,6 +194,8 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 		return []Table{Ablation(cfg), SlowPathAblation(cfg)}, true
 	case "burst":
 		return []Table{Burstiness(cfg)}, true
+	case "tenants":
+		return []Table{Tenants(cfg)}, true
 	case "all":
 		return All(cfg), true
 	}
@@ -201,5 +204,5 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 
 // Names lists the experiment identifiers ByName accepts.
 func Names() []string {
-	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "all"}
+	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "all"}
 }

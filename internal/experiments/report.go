@@ -14,6 +14,7 @@ import (
 	"ceio/internal/iosys"
 	"ceio/internal/runner"
 	"ceio/internal/sim"
+	"ceio/internal/tenant"
 	"ceio/internal/workload"
 )
 
@@ -104,6 +105,10 @@ type Config struct {
 	// run; above one, scalar metrics report min/mean/max across seeds
 	// and latency histograms are merged before taking percentiles.
 	Seeds int
+
+	// TenantLayout, when non-empty, overrides the tenants experiment's
+	// starting way allocation (the bench -tenants flag).
+	TenantLayout []tenant.Spec
 }
 
 // Default returns the full-length experiment configuration.

@@ -112,6 +112,14 @@ func (a *Auditor) sweep() {
 			a.record("hostbuf-leak", err.Error())
 		}
 	}
+	if a.m.Tenants != nil {
+		// Tenancy structure: waymasks disjoint and conserved, floors
+		// respected, partition capacities matching masks, occupancies
+		// summing to the global LLC occupancy — even mid-repartition.
+		if err := a.m.Tenants.Audit(); err != nil {
+			a.record("tenant-partition", err.Error())
+		}
+	}
 	if a.dp != nil {
 		if err := a.dp.AuditCredits(); err != nil {
 			a.record("credit-ledger", err.Error())

@@ -11,6 +11,7 @@ import (
 
 	"ceio/internal/pcie"
 	"ceio/internal/sim"
+	"ceio/internal/tenant"
 	"ceio/internal/transport"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 
 	// Transport.
 	CC transport.Config
+
+	// Tenancy, when non-nil, carves the DDIO region into per-tenant LLC
+	// partitions (see internal/tenant): flows tagged with a tenant ID
+	// insert into their tenant's partition, and ModeDynamic arms the
+	// repartitioning controller on the machine's clock. Nil means the
+	// pre-tenancy single-region model, byte for byte.
+	Tenancy *tenant.Config
 }
 
 // DefaultConfig returns the paper-calibrated parameter set.
@@ -131,6 +139,11 @@ func (c Config) Validate() error {
 	for _, ch := range checks {
 		if !ch.ok {
 			return fmt.Errorf("iosys: invalid config: %s", ch.what)
+		}
+	}
+	if c.Tenancy != nil {
+		if err := c.Tenancy.Validate(c.LLCBytes); err != nil {
+			return fmt.Errorf("iosys: invalid config: %w", err)
 		}
 	}
 	return nil

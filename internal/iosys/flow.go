@@ -67,6 +67,10 @@ type FlowSpec struct {
 	// burst flows form incast). Zero values disable shaping.
 	BurstOn  sim.Time
 	BurstOff sim.Time
+	// Tenant names the tenant owning this flow on a machine configured
+	// with Config.Tenancy. Empty means untenanted traffic (shared pool);
+	// a non-empty tag must match a registered tenant ID.
+	Tenant string
 }
 
 // Flow is the runtime state of one network flow.
@@ -79,6 +83,12 @@ type Flow struct {
 	msgPos  int
 	active  bool
 	stopped bool
+
+	// Tenancy resolution, fixed at AddFlow: the owning tenant's registry
+	// index (-1 for untagged flows) and the LLC partition this flow's
+	// buffers DMA into (0 on untenanted machines).
+	tenantIdx int
+	part      int
 
 	// Window accounting: bytes in flight (emitted, not yet delivered or
 	// dropped) and whether the generator is parked waiting for window.
@@ -102,6 +112,13 @@ func (f *Flow) String() string {
 
 // Active reports whether the flow's generator is currently emitting.
 func (f *Flow) Active() bool { return f.active && !f.stopped }
+
+// TenantIndex returns the owning tenant's registry index, -1 if the flow
+// is untagged (or the machine untenanted).
+func (f *Flow) TenantIndex() int { return f.tenantIdx }
+
+// Partition returns the LLC partition this flow's buffers DMA into.
+func (f *Flow) Partition() int { return f.part }
 
 // DeliveredSeq is the highest sequence number handed to the application
 // plus one (i.e., count of in-order deliveries); maintained by Machine.

@@ -11,6 +11,7 @@ import (
 	"ceio/internal/pkt"
 	"ceio/internal/sim"
 	"ceio/internal/stats"
+	"ceio/internal/tenant"
 	"ceio/internal/trace"
 	"ceio/internal/transport"
 )
@@ -60,6 +61,13 @@ type Machine struct {
 	RxWire *sim.Server // 200 Gbps ingress serialisation
 	NICMem *sim.Server // on-NIC DRAM
 	Steer  *flowsteer.Table
+
+	// Tenants and TenantCtrl are non-nil when Config.Tenancy is set: the
+	// registry owns the per-tenant LLC partitions and accounting; the
+	// controller (armed only in ModeDynamic) repartitions ways on the
+	// machine's clock.
+	Tenants    *tenant.Registry
+	TenantCtrl *tenant.Controller
 
 	DP Datapath
 
@@ -146,6 +154,20 @@ func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
 	m.DMA = pcie.NewEngine(eng, m.ToHost, m.ToNIC, m.IIO, cfg.DMACredits)
 	if cfg.HostBuffers > 0 {
 		m.HostPool = bufpool.New(cfg.HostBuffers, cfg.IOBufSize)
+	}
+	if cfg.Tenancy != nil {
+		// The registry carves the LLC before the datapath attaches, so
+		// CEIO's credit derivation sees the final partition geometry.
+		reg, err := tenant.NewRegistry(*cfg.Tenancy, m.LLC)
+		if err != nil {
+			return nil, fmt.Errorf("iosys: building machine: %w", err)
+		}
+		// Lines flushed by way reassignment are dirty unconsumed buffers:
+		// they write back to DRAM like any other DDIO eviction.
+		reg.SetEvictSink(m.writebackEvicted)
+		m.Tenants = reg
+		m.TenantCtrl = tenant.NewController(reg)
+		m.TenantCtrl.Start(eng)
 	}
 	dp.Attach(m)
 	return m, nil
@@ -243,7 +265,17 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	if rate <= 0 {
 		rate = m.Cfg.LinkBandwidth / float64(len(m.Flows)+1)
 	}
-	f := &Flow{FlowSpec: spec, m: m, active: true}
+	tenantIdx, part := -1, 0
+	if m.Tenants != nil {
+		var err error
+		tenantIdx, part, err = m.Tenants.ForFlow(spec.Tenant)
+		if err != nil {
+			return nil, fmt.Errorf("iosys: adding flow %d: %w", spec.ID, err)
+		}
+	} else if spec.Tenant != "" {
+		return nil, fmt.Errorf("iosys: adding flow %d: tenant %q tagged but machine has no tenancy configured", spec.ID, spec.Tenant)
+	}
+	f := &Flow{FlowSpec: spec, m: m, active: true, tenantIdx: tenantIdx, part: part}
 	ccCfg := m.Cfg.CC
 	if spec.FixedRate {
 		// UD-style traffic: the sender holds its rate regardless of
@@ -253,6 +285,9 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	f.CC = transport.New(m.Eng, ccCfg, rate)
 	f.Delivered.StartAt(m.Eng.Now())
 	m.Flows[spec.ID] = f
+	if m.Tenants != nil {
+		m.Tenants.FlowAdded(f.tenantIdx)
+	}
 	m.DP.FlowAdded(f)
 	if f.Kind == CPUInvolved {
 		c := newCore(m, f)
@@ -298,6 +333,9 @@ func (m *Machine) RemoveFlow(id int) {
 		delete(m.cores, id)
 	}
 	m.DP.FlowRemoved(f)
+	if m.Tenants != nil {
+		m.Tenants.FlowRemoved(f.tenantIdx)
+	}
 	delete(m.Flows, id)
 }
 
@@ -362,6 +400,7 @@ func (m *Machine) emit(f *Flow) {
 		FlowID:   f.ID,
 		Seq:      f.nextSeq,
 		Size:     f.PktSize,
+		Part:     f.part,
 		MsgStart: f.msgPos == 0,
 		MsgEnd:   f.msgPos == f.MsgPkts-1,
 	}
@@ -416,18 +455,11 @@ func (m *Machine) DMAToHost(p *pkt.Packet, landed func()) {
 		if lines := int64((p.Size + 63) &^ 63); lines > occ {
 			occ = lines
 		}
-		evicted := m.LLC.InsertIO(p.Buf, occ)
+		evicted := m.LLC.InsertIOIn(p.Part, p.Buf, occ)
 		// Evicted dirty lines write back to DRAM asynchronously, charging
 		// memory bandwidth (and thereby inflating CPU miss latency and
 		// slowing bulk moves) without stalling the DDIO commit itself.
-		for _, id := range evicted {
-			size := int(m.bufBytes[id])
-			if size == 0 {
-				size = m.Cfg.IOBufSize
-			}
-			m.Mem.Writeback(size)
-			delete(m.bufBytes, id)
-		}
+		m.writebackEvicted(evicted)
 		m.Uncore.Submit(p.Size, nil)
 		commit := m.Uncore.QueueDelay()
 		m.Eng.After(commit, func() {
@@ -438,6 +470,20 @@ func (m *Machine) DMAToHost(p *pkt.Packet, landed func()) {
 			landed()
 		})
 	})
+}
+
+// writebackEvicted charges DRAM writebacks for buffers evicted from the
+// LLC (DDIO insert overflow or tenant way reassignment) and forgets
+// their size records.
+func (m *Machine) writebackEvicted(evicted []cache.BufID) {
+	for _, id := range evicted {
+		size := int(m.bufBytes[id])
+		if size == 0 {
+			size = m.Cfg.IOBufSize
+		}
+		m.Mem.Writeback(size)
+		delete(m.bufBytes, id)
+	}
 }
 
 // Deliver finalises a packet: latency and throughput accounting, ECN
@@ -451,6 +497,9 @@ func (m *Machine) Deliver(f *Flow, p *pkt.Packet) {
 		m.InvolvedMeter.Record(p.Size)
 	} else {
 		m.BypassMeter.Record(p.Size)
+	}
+	if m.Tenants != nil {
+		m.Tenants.RecordDelivery(f.tenantIdx, p.Size)
 	}
 	if !m.LLC.Resident(p.Buf) {
 		// Retired-but-resident bypass lines keep their size record until
@@ -503,7 +552,11 @@ func (m *Machine) ConsumeBypass(f *Flow, p *pkt.Packet, then func()) {
 	// delivery, so a DFS under load becomes memory-bandwidth-bound.
 	moved := p.Size * (1 + f.PostPasses)
 	m.Mem.BulkMove(moved, func() {
-		if !m.LLC.Probe(p.Buf) {
+		hit := m.LLC.ProbeIn(p.Part, p.Buf)
+		if m.Tenants != nil {
+			m.Tenants.Account(f.tenantIdx, hit)
+		}
+		if !hit {
 			// The consumer's read missed: the chunk was already evicted
 			// to DRAM, costing an extra fetch of the payload.
 			m.Mem.Writeback(p.Size)
@@ -523,10 +576,16 @@ func (m *Machine) PacketCPUCost(f *Flow, p *pkt.Packet) sim.Time {
 	if p.Path == pkt.PathSlow {
 		// Slow-path data was just DMA-read into host memory and is warm.
 		c += m.Cfg.LLCHitLatency
-	} else if m.LLC.Consume(p.Buf) {
-		c += m.Cfg.LLCHitLatency
 	} else {
-		c += m.Mem.AccessLatency(p.Size)
+		hit := m.LLC.ConsumeIn(p.Part, p.Buf)
+		if m.Tenants != nil {
+			m.Tenants.Account(f.tenantIdx, hit)
+		}
+		if hit {
+			c += m.Cfg.LLCHitLatency
+		} else {
+			c += m.Mem.AccessLatency(p.Size)
+		}
 	}
 	c += f.Cost.PerPacket
 	if !f.Cost.ZeroCopy && f.Cost.CopyBandwidth > 0 {
@@ -561,6 +620,9 @@ func (m *Machine) ResetWindow() {
 		f.Latency.Reset()
 	}
 	m.LLC.ResetStats()
+	if m.Tenants != nil {
+		m.Tenants.ResetWindow(now)
+	}
 }
 
 // Run advances the simulation until the given absolute time.

@@ -36,6 +36,11 @@ type Packet struct {
 	Arrival sim.Time // NIC rx timestamp (start of the I/O latency measurement)
 	Path    Path     // which path delivered it
 
+	// Part is the LLC partition this packet's buffer DMAs into: the
+	// owning tenant's partition on a tenanted machine, 0 (the whole DDIO
+	// region) otherwise. Stamped at emission from the flow's tenant.
+	Part int
+
 	// MsgStart/MsgEnd delimit application messages. MsgEnd triggers lazy
 	// credit release (the paper's batch-completion semantics, §4.1) and
 	// models RDMA write-with-immediate for CPU-bypass flows.
