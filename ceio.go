@@ -239,29 +239,33 @@ type TenantSnapshot struct {
 	Gbps        float64
 }
 
-// Snapshot captures the current aggregate metrics.
+// Snapshot captures the current aggregate metrics. Every value is read
+// from the machine's telemetry registry — the same source of truth the
+// exporters and experiment tables use — so a snapshot can never drift
+// from what `-metrics-out` reports.
 func (s *Simulator) Snapshot() Snapshot {
-	now := s.m.Eng.Now()
+	reg := s.m.Reg
 	sn := Snapshot{
 		Arch:          s.dp.Name(),
-		Time:          now,
-		DeliveredPkts: s.m.Delivered.Packets,
-		TotalMpps:     s.m.Delivered.Mpps(now),
-		TotalGbps:     s.m.Delivered.Gbps(now),
-		InvolvedMpps:  s.m.InvolvedMeter.Mpps(now),
-		BypassGbps:    s.m.BypassMeter.Gbps(now),
-		LLCMissRate:   s.m.LLC.MissRate(),
-		IIOOccupancy:  s.m.IIO.Occupancy(),
-		Drops:         s.m.TotalDrops,
+		Time:          s.m.Eng.Now(),
+		DeliveredPkts: uint64(reg.Value("iosys.delivered.packets_total")),
+		TotalMpps:     reg.Value("iosys.delivered.rate_mpps"),
+		TotalGbps:     reg.Value("iosys.delivered.rate_gbps"),
+		InvolvedMpps:  reg.Value("iosys.involved.rate_mpps"),
+		BypassGbps:    reg.Value("iosys.bypass.rate_gbps"),
+		LLCMissRate:   reg.Value("cache.llc.miss_ratio"),
+		IIOOccupancy:  int64(reg.Value("cache.iio.occupancy_bytes")),
+		Drops:         uint64(reg.Value("iosys.drops_total")),
 	}
 	if s.m.Tenants != nil {
 		for _, t := range s.m.Tenants.Tenants() {
+			lbl := MetricLabel{Key: "tenant", Value: t.ID}
 			sn.Tenants = append(sn.Tenants, TenantSnapshot{
 				ID:          t.ID,
-				Ways:        t.Ways,
-				LLCMissRate: t.MissRate(),
-				Mpps:        t.Delivered.Mpps(now),
-				Gbps:        t.Delivered.Gbps(now),
+				Ways:        int(reg.Value("tenant.ways_count", lbl)),
+				LLCMissRate: reg.Value("tenant.llc.miss_ratio", lbl),
+				Mpps:        reg.Value("tenant.delivered.rate_mpps", lbl),
+				Gbps:        reg.Value("tenant.delivered.rate_gbps", lbl),
 			})
 		}
 	}

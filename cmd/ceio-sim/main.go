@@ -7,25 +7,45 @@
 //	ceio-sim -config scenario.json [-out json]
 //	ceio-sim -arch CEIO -kv 4 -faults examples/scenarios/chaos-storm.json
 //	ceio-sim -arch Baseline -kv 2 -dfs 2 -tenants kv=2,bulk=3 -tenants-mode dynamic
+//	ceio-sim -kv 2 -dfs 2 -tenants kv=1,bulk=4 -sample-every 1ms \
+//	    -metrics-out m.prom -series-out occupancy.csv -timeline-out t.json
 //
 // Architectures: Baseline, HostCC, ShRing, CEIO. A JSON scenario file
 // (see examples/scenarios/) describes flows with start/stop times
 // declaratively and can emit machine-readable results. A fault plan
 // (-faults) arms deterministic chaos injection; the run prints the
 // replay line (plan + seeds) and the invariant-auditor verdict.
+//
+// Telemetry exports (OBSERVABILITY.md documents the formats and every
+// series): -metrics-out writes end-of-run Prometheus text exposition,
+// -series-out writes time series sampled every -sample-every of
+// simulated time (CSV, or JSONL when the path ends in .jsonl), and
+// -timeline-out writes per-packet Chrome trace-event JSON for
+// chrome://tracing / Perfetto. All exports are deterministic: sampling
+// runs on the simulation clock, never the wall clock.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"strings"
 	"time"
 
 	"ceio"
+	"ceio/internal/iosys"
 	"ceio/internal/scenario"
+	"ceio/internal/sim"
+	"ceio/internal/telemetry"
+	"ceio/internal/trace"
 )
+
+// timelineRing is the tracer capacity used when -timeline-out implies
+// tracing: large enough to hold every packet event of a default-length
+// run so the exported timeline has no truncated spans.
+const timelineRing = 1 << 20
 
 func main() {
 	arch := flag.String("arch", "CEIO", "I/O architecture: Baseline | HostCC | ShRing | CEIO")
@@ -42,14 +62,29 @@ func main() {
 	faultsPath := flag.String("faults", "", "JSON fault plan: arm deterministic chaos injection + invariant auditing")
 	tenants := flag.String("tenants", "", "partition the DDIO LLC per tenant, e.g. \"kv=2,bulk=3\" (kv/echo flows -> first tenant, dfs -> second)")
 	tenantsMode := flag.String("tenants-mode", "dynamic", "tenant partition management: shared | static | dynamic")
+	sampleEvery := flag.Duration("sample-every", 0, "simulated sampling interval for -series-out (0 = no sampling)")
+	metricsOut := flag.String("metrics-out", "", "write end-of-run metrics as Prometheus text exposition to this file")
+	seriesOut := flag.String("series-out", "", "write sampled time series to this file (CSV, or JSONL if it ends in .jsonl; needs -sample-every)")
+	timelineOut := flag.String("timeline-out", "", "write per-packet Chrome trace-event JSON to this file (implies tracing)")
 	flag.Parse()
+
+	if *seriesOut != "" && *sampleEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "ceio-sim: -series-out needs -sample-every > 0")
+		os.Exit(2)
+	}
+	exp := exporter{
+		sampleEvery: sim.Time(sampleEvery.Nanoseconds()),
+		metricsOut:  *metricsOut,
+		seriesOut:   *seriesOut,
+		timelineOut: *timelineOut,
+	}
 
 	if *config != "" {
 		if *faultsPath != "" {
 			fmt.Fprintln(os.Stderr, "ceio-sim: -faults applies to flag-built runs, not -config scenarios")
 			os.Exit(2)
 		}
-		runConfig(*config, *out)
+		runConfig(*config, *out, &exp)
 		return
 	}
 
@@ -90,6 +125,8 @@ func main() {
 	var tracer *ceio.Tracer
 	if *traceN > 0 {
 		tracer = sim.EnableTracing(*traceN)
+	} else if exp.timelineOut != "" {
+		tracer = sim.EnableTracing(timelineRing)
 	}
 	var injector *ceio.FaultInjector
 	var auditor *ceio.Auditor
@@ -125,36 +162,69 @@ func main() {
 		os.Exit(2)
 	}
 
+	var sampler *ceio.MetricsSampler
+	if exp.sampleEvery > 0 {
+		sampler = sim.StartSampling(exp.sampleEvery)
+	}
 	sim.RunFor(ceio.Duration(warm.Nanoseconds()))
 	sim.ResetMetrics()
 	sim.RunFor(ceio.Duration(dur.Nanoseconds()))
 
-	fmt.Println(sim.Snapshot())
-	m := sim.Machine()
-	ids := make([]int, 0, len(m.Flows))
-	for fid := range m.Flows {
-		ids = append(ids, fid)
-	}
-	sort.Ints(ids)
-	now := sim.Now()
-	for _, fid := range ids {
-		f := m.Flows[fid]
-		fmt.Printf("  %-40s %8.2f Mpps %8.2f Gbps  p50=%6.2fµs p99=%7.2fµs p99.9=%7.2fµs drops=%d\n",
-			f.String(), f.Delivered.Mpps(now), f.Delivered.Gbps(now),
-			float64(f.Latency.P50())/1e3, float64(f.Latency.P99())/1e3, float64(f.Latency.P999())/1e3, f.Drops)
-	}
-	if dp := sim.CEIO(); dp != nil {
-		fmt.Printf("  CEIO: fast=%d slow=%d drains=%d marks=%d credits(pool)=%d\n",
-			dp.FastPackets, dp.SlowPackets, dp.Drains, dp.SlowMarks, dp.Controller().Pool())
-	}
-	fmt.Printf("  LLC: %d hits, %d misses, %d evictions; PCIe->host util %.1f%%\n",
-		m.LLC.Hits, m.LLC.Misses, m.LLC.Evictions, m.ToHost.Utilization()*100)
+	ceio.WriteReport(os.Stdout, sim)
 	if injector != nil {
 		reportFaults(sim, injector, auditor, *seed)
 	}
-	if tracer != nil {
+	if tracer != nil && *traceN > 0 {
 		fmt.Printf("\n-- last %d datapath events --\n", *traceN)
 		tracer.Dump(os.Stdout)
+	}
+	exp.export(sim.Metrics(), sampler, sim.Machine().Tracer)
+}
+
+// exporter writes the telemetry artifacts a run asked for.
+type exporter struct {
+	sampleEvery sim.Time
+	metricsOut  string
+	seriesOut   string
+	timelineOut string
+}
+
+// export writes the requested files; any nil source with its flag unset
+// is simply skipped.
+func (e *exporter) export(reg *telemetry.Registry, sampler *telemetry.Sampler, tr *trace.Tracer) {
+	if e.metricsOut != "" && reg != nil {
+		writeFile(e.metricsOut, func(w io.Writer) error { return telemetry.WritePrometheus(w, reg) })
+	}
+	if e.seriesOut != "" && sampler != nil {
+		writeFile(e.seriesOut, func(w io.Writer) error {
+			if strings.HasSuffix(e.seriesOut, ".jsonl") {
+				return sampler.WriteJSONL(w)
+			}
+			return sampler.WriteCSV(w)
+		})
+	}
+	if e.timelineOut != "" && tr != nil {
+		writeFile(e.timelineOut, func(w io.Writer) error { return telemetry.WriteChromeTrace(w, tr.Events()) })
+	}
+}
+
+// writeFile creates path and streams fn into it, exiting on error.
+func writeFile(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(1)
+	}
+	if err := fn(f); err == nil {
+		err = f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		f.Close()
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -201,8 +271,9 @@ func reportFaults(sim *ceio.Simulator, ij *ceio.FaultInjector, auditor *ceio.Aud
 	fmt.Printf("  audit: clean (%d sweeps, 0 violations)\n", auditor.Checks)
 }
 
-// runConfig executes a declarative JSON scenario.
-func runConfig(path, out string) {
+// runConfig executes a declarative JSON scenario, attaching telemetry
+// instrumentation when export flags ask for it.
+func runConfig(path, out string, exp *exporter) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
@@ -214,7 +285,19 @@ func runConfig(path, out string) {
 		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
 		os.Exit(1)
 	}
-	res, err := spec.Run()
+	var (
+		machine *iosys.Machine
+		sampler *telemetry.Sampler
+	)
+	res, err := spec.RunInstrumented(func(m *iosys.Machine) {
+		machine = m
+		if exp.sampleEvery > 0 {
+			sampler = telemetry.NewSampler(m.Eng, m.Reg, exp.sampleEvery, nil)
+		}
+		if exp.timelineOut != "" {
+			m.Tracer = trace.New(timelineRing)
+		}
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
 		os.Exit(1)
@@ -223,12 +306,8 @@ func runConfig(path, out string) {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		enc.Encode(res) //nolint:errcheck // stdout
-		return
+	} else {
+		res.WriteText(os.Stdout)
 	}
-	fmt.Printf("[%s] %.2f Mpps / %.2f Gbps (involved %.2f Mpps, bypass %.2f Gbps), LLC miss %.1f%%, drops %d\n",
-		res.Arch, res.TotalMpps, res.TotalGbps, res.InvolvedMpps, res.BypassGbps, res.LLCMissRate*100, res.Drops)
-	for _, fr := range res.Flows {
-		fmt.Printf("  flow %-4d %-8s %8.2f Mpps %8.2f Gbps  p50=%6.2fµs p99=%7.2fµs p99.9=%7.2fµs drops=%d\n",
-			fr.ID, fr.Kind, fr.Mpps, fr.Gbps, fr.P50Us, fr.P99Us, fr.P999Us, fr.Drops)
-	}
+	exp.export(machine.Reg, sampler, machine.Tracer)
 }

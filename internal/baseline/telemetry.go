@@ -1,0 +1,23 @@
+package baseline
+
+import (
+	"ceio/internal/telemetry"
+)
+
+// RegisterMetrics publishes HostCC's controller counter
+// (iosys.MetricSource).
+func (h *HostCC) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("baseline.hostcc.triggers_total", "Congestion-driven CCA invocations by the HostCC monitor.",
+		func() uint64 { return h.Triggers })
+}
+
+// RegisterMetrics publishes the shared ring's occupancy and drop
+// counters (iosys.MetricSource).
+func (s *ShRing) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("baseline.shring.shared_full_total", "Packets dropped by shared receive-budget exhaustion.",
+		func() uint64 { return s.SharedFull })
+	reg.Gauge("baseline.shring.used_count", "Occupied shared receive-ring entries.",
+		func() float64 { return float64(s.used) })
+	reg.Gauge("baseline.shring.peak_count", "Peak occupied shared receive-ring entries.",
+		func() float64 { return float64(s.MaxUsed) })
+}

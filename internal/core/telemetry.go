@@ -1,0 +1,44 @@
+package core
+
+import (
+	"ceio/internal/telemetry"
+)
+
+// RegisterMetrics publishes CEIO's policy-layer counters into the
+// machine's registry (iosys.MetricSource). The credit gauges expose the
+// Eq. 1 bound at runtime: pool + per-flow grants + in-flight always sum
+// to the derived total, which is what the conservation invariant audits.
+func (c *CEIO) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("core.ceio.fast_packets_total", "Packets admitted to the credit-gated fast path.",
+		func() uint64 { return c.FastPackets })
+	reg.Counter("core.ceio.slow_packets_total", "Packets diverted to on-NIC memory (slow path).",
+		func() uint64 { return c.SlowPackets })
+	reg.Counter("core.ceio.slow_marks_total", "Packets ECN-marked on entry to the slow path.",
+		func() uint64 { return c.SlowMarks })
+	reg.Counter("core.ceio.drains_total", "Completed slow-path drains (flow resumed the fast path).",
+		func() uint64 { return c.Drains })
+	reg.Counter("core.ceio.nicmem_drops_total", "Packets dropped by exhausted on-NIC memory.",
+		func() uint64 { return c.NICMemDrops })
+	reg.Counter("core.ceio.tenant_rejects_total", "Fast-path admissions refused by the tenant's credit quota.",
+		func() uint64 { return c.TenantRejects })
+	reg.Gauge("core.ceio.credits.total_count", "Credits derived from the DDIO region size (Eq. 1).",
+		func() float64 { return float64(c.ctrl.Total()) })
+	reg.Gauge("core.ceio.credits.pool_count", "Credits currently unassigned in the shared pool.",
+		func() float64 { return float64(c.ctrl.Pool()) })
+	reg.Counter("core.ceio.credits.reclaimed_total", "Credits recovered by loss reconciliation.",
+		func() uint64 { return c.CreditsReclaimed })
+	reg.Counter("core.ceio.credits.loss_events_total", "Credit-release messages lost to fault injection.",
+		func() uint64 { return c.CreditLossEvents })
+	reg.Counter("core.ceio.read_retries_total", "Slow-path DMA reads reissued after a lost completion.",
+		func() uint64 { return c.ReadRetries })
+	reg.Counter("core.ceio.steer_retries_total", "Steering-table updates retried after rejection.",
+		func() uint64 { return c.SteerRetries })
+	reg.Counter("core.ceio.steer_fallbacks_total", "Flows pinned to the degraded slow path.",
+		func() uint64 { return c.SteerFallbacks })
+	reg.Counter("core.ceio.stale_steer_hits_total", "Packets rerouted past a lagging steering rule.",
+		func() uint64 { return c.StaleSteerHits })
+	reg.Counter("core.ceio.pressure_marks_total", "Arrivals ECN-marked by graceful shedding.",
+		func() uint64 { return c.PressureMarks })
+	reg.Gauge("core.ceio.degraded_flows_count", "Flows currently operating in degraded mode.",
+		func() float64 { return float64(c.Degraded()) })
+}

@@ -165,7 +165,7 @@ func All(cfg Config) []Table {
 		one(Ablation),
 		one(SlowPathAblation),
 		one(Burstiness),
-		one(Tenants),
+		Tenants,
 	})
 }
 
@@ -195,7 +195,7 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 	case "burst":
 		return []Table{Burstiness(cfg)}, true
 	case "tenants":
-		return []Table{Tenants(cfg)}, true
+		return Tenants(cfg), true
 	case "all":
 		return All(cfg), true
 	}

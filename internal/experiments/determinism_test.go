@@ -91,6 +91,31 @@ func TestParallelSeedsByteIdentical(t *testing.T) {
 	}
 }
 
+// TestSampledTimelineParallelByteIdentical extends the byte-identity
+// guarantee to telemetry sampling: with SampleEvery set, the tenants
+// timeline tables are clocked on simulated time only, so a -parallel 8
+// run renders them exactly as a serial run does.
+func TestSampledTimelineParallelByteIdentical(t *testing.T) {
+	run := func(workers int) string {
+		cfg := microCfg()
+		cfg.SampleEvery = 100 * sim.Microsecond
+		pool := runner.NewPool(workers)
+		defer pool.Close()
+		cfg.Pool = pool
+		return renderSuite(t, cfg, []string{"tenants"})
+	}
+	serial, parallel := run(1), run(8)
+	if serial != parallel {
+		t.Fatalf("sampled timeline output diverges:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "Timeline — dynamic repartitioning") {
+		t.Fatal("sampled run did not render timeline tables")
+	}
+	if !strings.Contains(serial, `cache.llc.ddio.occupancy_bytes{tenant="kv"}`) {
+		t.Fatal("timeline tables missing per-tenant occupancy series")
+	}
+}
+
 // TestSeedsChangeResults sanity-checks that replicas actually carry
 // distinct seeds. Most experiments are deterministic functions of the
 // machine (seed-invariant by design), so this probes at two levels: the

@@ -6,12 +6,11 @@
 package experiments
 
 import (
-	"encoding/csv"
 	"fmt"
 	"io"
-	"strings"
 
 	"ceio/internal/iosys"
+	"ceio/internal/render"
 	"ceio/internal/runner"
 	"ceio/internal/sim"
 	"ceio/internal/tenant"
@@ -26,62 +25,16 @@ type Table struct {
 	Rows   [][]string
 }
 
-// Render writes the table in aligned plain text.
+// Render writes the table in aligned plain text (shared renderer, so
+// bench tables and CLI reports format identically).
 func (t Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
-	if t.Note != "" {
-		fmt.Fprintf(w, "%s\n", t.Note)
-	}
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, r := range t.Rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		parts := make([]string, len(cells))
-		for i, c := range cells {
-			if i < len(widths) {
-				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
-			} else {
-				parts[i] = c
-			}
-		}
-		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
-	}
-	line(t.Header)
-	sep := make([]string, len(t.Header))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, r := range t.Rows {
-		line(r)
-	}
+	render.AlignedTable(w, t.Title, t.Note, t.Header, t.Rows)
 }
 
 // RenderCSV writes the table as CSV with a leading title comment, for
 // plotting pipelines.
 func (t Table) RenderCSV(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
-		return err
-	}
-	cw := csv.NewWriter(w)
-	if err := cw.Write(t.Header); err != nil {
-		return err
-	}
-	for _, r := range t.Rows {
-		if err := cw.Write(r); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return render.CSVTable(w, t.Title, t.Header, t.Rows)
 }
 
 // Config controls experiment durations. Quick mode shrinks sweeps and
@@ -109,6 +62,14 @@ type Config struct {
 	// TenantLayout, when non-empty, overrides the tenants experiment's
 	// starting way allocation (the bench -tenants flag).
 	TenantLayout []tenant.Spec
+
+	// SampleEvery, when positive, attaches a telemetry sampler to the
+	// tenants experiment's measurement cells and appends per-scheme
+	// timeline tables (occupancy, ways, miss ratio over simulated time).
+	// Sampling is read-only and clocked on simulated time, so enabling
+	// it never changes the measured rows and the sampled series stay
+	// byte-identical across -parallel levels.
+	SampleEvery sim.Time
 }
 
 // Default returns the full-length experiment configuration.
@@ -144,9 +105,9 @@ func measureWindow(m *iosys.Machine, warmup, measure sim.Time) {
 	m.Run(m.Eng.Now() + measure)
 }
 
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
-func us(ns int64) string   { return fmt.Sprintf("%.2f", float64(ns)/1e3) }
+func f2(v float64) string  { return render.F2(v) }
+func pct(v float64) string { return render.Pct(v) }
+func us(ns int64) string   { return render.Us(ns) }
 
 // speedup formats "v (x.yyx)" relative to base.
 func speedup(v, base float64) string {

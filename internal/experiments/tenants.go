@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"ceio/internal/core"
 	"ceio/internal/iosys"
+	"ceio/internal/telemetry"
 	"ceio/internal/tenant"
 	"ceio/internal/workload"
 )
@@ -18,7 +20,14 @@ import (
 // plus dynamic partitioning combined with CEIO's credit gate, where each
 // tenant's credit bound derives from its partition instead of the global
 // DDIO capacity.
-func Tenants(cfg Config) Table {
+//
+// When Config.SampleEvery is positive, each scheme additionally emits a
+// timeline table of per-tenant DDIO occupancy, way allocation, and miss
+// ratio over simulated time (sampled on the engine clock, so the rows
+// are byte-identical across -parallel levels). The dynamic rows let the
+// repartitioning controller's recovery from the starved allocation be
+// read directly off the occupancy curve.
+func Tenants(cfg Config) []Table {
 	tb := Table{
 		Title:  "Tenants — victim KV tenant vs file-transfer antagonist under LLC partitioning schemes",
 		Header: []string{"scheme", "victim LLC miss", "victim Mpps", "victim P99 (µs)", "antagonist Gbps", "ways kv/bulk/pool", "ways moved"},
@@ -45,6 +54,48 @@ func Tenants(cfg Config) Table {
 			ways,
 			statOf(reps, func(r tenantResult) float64 { return float64(r.waysMoved) }).count(),
 		})
+	}
+	out := []Table{tb}
+	if cfg.SampleEvery > 0 {
+		// Timeline tables come from the first seed replica of each cell;
+		// slots are index-ordered, so output order is deterministic.
+		for i, sc := range schemes {
+			out = append(out, tenantTimeline(sc, res[i][0].timeline))
+		}
+	}
+	return out
+}
+
+// timelineSeries are the sampled metric names the tenants timeline
+// tables report (all other registry series are filtered out).
+var timelineSeries = map[string]bool{
+	"cache.llc.ddio.occupancy_bytes": true,
+	"tenant.ways_count":              true,
+	"tenant.llc.miss_ratio":          true,
+}
+
+// tenantTimeline renders one scheme's sampled series as a table with a
+// simulated-time column followed by one column per series ID.
+func tenantTimeline(sc tenantScheme, s *telemetry.Sampler) Table {
+	tb := Table{
+		Title: "Timeline — " + sc.name,
+		Note:  "Sampled on simulated time; occupancy/ways/miss-ratio per tenant.",
+	}
+	tb.Header = append(tb.Header, "t_ns")
+	series := s.Series()
+	for _, sr := range series {
+		tb.Header = append(tb.Header, sr.ID)
+	}
+	for ti, t := range s.Ticks() {
+		row := []string{strconv.FormatInt(int64(t), 10)}
+		for _, sr := range series {
+			cell := ""
+			if ti >= sr.Start {
+				cell = strconv.FormatFloat(sr.Pts[ti-sr.Start], 'g', -1, 64)
+			}
+			row = append(row, cell)
+		}
+		tb.Rows = append(tb.Rows, row)
 	}
 	return tb
 }
@@ -85,6 +136,8 @@ type tenantResult struct {
 	waysBulk   int
 	waysPool   int
 	waysMoved  uint64
+	// timeline holds the sampled series when Config.SampleEvery > 0.
+	timeline *telemetry.Sampler
 }
 
 // runTenantCell measures one scheme: two KV flows tagged "kv" against two
@@ -99,6 +152,11 @@ func runTenantCell(cfg Config, sc tenantScheme) tenantResult {
 		dp = workload.NewDatapath(workload.MethodBaseline)
 	}
 	m := iosys.NewMachine(mc, dp)
+	var sampler *telemetry.Sampler
+	if cfg.SampleEvery > 0 {
+		sampler = telemetry.NewSampler(m.Eng, m.Reg, cfg.SampleEvery,
+			func(mt *telemetry.Metric) bool { return timelineSeries[mt.Name] })
+	}
 	id := 1
 	const victims = 2
 	for i := 0; i < victims; i++ {
@@ -115,17 +173,19 @@ func runTenantCell(cfg Config, sc tenantScheme) tenantResult {
 	}
 	measureWindow(m, cfg.Warmup, cfg.Measure)
 
-	now := m.Eng.Now()
-	kv, _ := m.Tenants.Lookup("kv")
-	bulk, _ := m.Tenants.Lookup("bulk")
+	// All scalar reads go through the telemetry registry: the same series
+	// the exporters publish, so tables and exports cannot disagree.
+	kv := telemetry.L("tenant", "kv")
+	bulk := telemetry.L("tenant", "bulk")
 	res := tenantResult{
-		victimMiss: kv.MissRate(),
-		victimMpps: kv.Delivered.Mpps(now),
-		antagGbps:  bulk.Delivered.Gbps(now),
-		waysKV:     kv.Ways,
-		waysBulk:   bulk.Ways,
-		waysPool:   m.Tenants.SharedWays(),
-		waysMoved:  m.Tenants.WaysMoved,
+		victimMiss: m.Reg.Value("tenant.llc.miss_ratio", kv),
+		victimMpps: m.Reg.Value("tenant.delivered.rate_mpps", kv),
+		antagGbps:  m.Reg.Value("tenant.delivered.rate_gbps", bulk),
+		waysKV:     int(m.Reg.Value("tenant.ways_count", kv)),
+		waysBulk:   int(m.Reg.Value("tenant.ways_count", bulk)),
+		waysPool:   int(m.Reg.Value("tenant.shared.ways_count")),
+		waysMoved:  uint64(m.Reg.Value("tenant.ways_moved_total")),
+		timeline:   sampler,
 	}
 	for fid, f := range m.Flows {
 		if fid <= victims {

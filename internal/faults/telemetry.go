@@ -1,0 +1,27 @@
+package faults
+
+import "ceio/internal/telemetry"
+
+// RegisterMetrics publishes the injector's fired-fault counters into the
+// machine's telemetry registry under faults.injected.*. Registration
+// happens when a plan is armed (Machine.SetFaults), so fault-free runs
+// carry no faults.* series at all; a sampler attached before arming
+// picks the series up from its arming tick onward.
+func (ij *Injector) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Counter("faults.injected.wire_drops_total",
+		"Wire-drop faults fired by the injector.", func() uint64 { return ij.Stats.WireDrops })
+	reg.Counter("faults.injected.wire_corrupts_total",
+		"Wire-corruption faults fired by the injector.", func() uint64 { return ij.Stats.WireCorrupts })
+	reg.Counter("faults.injected.credit_losses_total",
+		"Credit-release messages the injector discarded.", func() uint64 { return ij.Stats.CreditLosses })
+	reg.Counter("faults.injected.steer_fails_total",
+		"Steering-rule updates the injector rejected.", func() uint64 { return ij.Stats.SteerFails })
+	reg.Counter("faults.injected.steer_delays_total",
+		"Steering-rule updates the injector delayed.", func() uint64 { return ij.Stats.SteerDelays })
+	reg.Counter("faults.injected.read_losses_total",
+		"Slow-path DMA read completions the injector lost.", func() uint64 { return ij.Stats.ReadLosses })
+	reg.Counter("faults.injected.dma_stalls_total",
+		"DMA operations deferred by injected stall episodes.", func() uint64 { return ij.Stats.DMAStalls })
+	reg.Counter("faults.injected.cpu_stalls_total",
+		"Poll batches slowed by injected CPU-stall episodes.", func() uint64 { return ij.Stats.CPUStalls })
+}

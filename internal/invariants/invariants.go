@@ -9,6 +9,13 @@
 // report every invariant the fault handling failed to uphold. A clean
 // fault-injected run is the substrate's acceptance test: injected faults
 // must surface as degraded throughput, never as broken accounting.
+//
+// Paper-side counterpart (per the DESIGN.md substitution table): the
+// correctness obligations CEIO states but cannot mechanically check on
+// hardware — credit conservation in Algorithm 1 (§4.2), the SW ring's
+// order-preserving fast/slow merge (§4.1, §5), and zero-copy buffer
+// ownership of post_recv (§5). The simulation turns each into a runtime
+// assertion.
 package invariants
 
 import (

@@ -11,6 +11,7 @@ import (
 	"ceio/internal/pkt"
 	"ceio/internal/sim"
 	"ceio/internal/stats"
+	"ceio/internal/telemetry"
 	"ceio/internal/tenant"
 	"ceio/internal/trace"
 	"ceio/internal/transport"
@@ -98,7 +99,14 @@ type Machine struct {
 	Delivered     stats.Meter
 	InvolvedMeter stats.Meter // CPU-involved deliveries only
 	BypassMeter   stats.Meter // CPU-bypass deliveries only
+	Latency       stats.Histogram
 	TotalDrops    uint64
+
+	// Reg is the machine's telemetry registry: the single source of
+	// truth every snapshot renderer and exporter reads. All components
+	// register at construction; the datapath adds its own series via
+	// MetricSource.
+	Reg *telemetry.Registry
 
 	// OnDeliver, if set, observes every packet handed to the application
 	// (workload logic, ordering assertions in tests).
@@ -170,6 +178,11 @@ func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
 		m.TenantCtrl.Start(eng)
 	}
 	dp.Attach(m)
+	m.Reg = telemetry.NewRegistry()
+	m.registerMetrics()
+	if ms, ok := dp.(MetricSource); ok {
+		ms.RegisterMetrics(m.Reg)
+	}
 	return m, nil
 }
 
@@ -190,6 +203,9 @@ func (m *Machine) SetFaults(ij *faults.Injector) {
 	}
 	m.Faults = ij
 	m.DMA.Faults = ij
+	if m.Reg != nil {
+		ij.RegisterMetrics(m.Reg)
+	}
 	if fa, ok := m.DP.(FaultAware); ok {
 		fa.FaultsEnabled()
 	}
@@ -491,7 +507,9 @@ func (m *Machine) writebackEvicted(evicted []cache.BufID) {
 func (m *Machine) Deliver(f *Flow, p *pkt.Packet) {
 	now := m.Eng.Now()
 	f.Delivered.Record(p.Size)
-	f.Latency.Record(int64(now - p.Arrival + m.Cfg.ClientOverhead))
+	lat := int64(now - p.Arrival + m.Cfg.ClientOverhead)
+	f.Latency.Record(lat)
+	m.Latency.Record(lat)
 	m.Delivered.Record(p.Size)
 	if f.Kind == CPUInvolved {
 		m.InvolvedMeter.Record(p.Size)
@@ -615,6 +633,7 @@ func (m *Machine) ResetWindow() {
 	m.Delivered.Reset(now)
 	m.InvolvedMeter.Reset(now)
 	m.BypassMeter.Reset(now)
+	m.Latency.Reset()
 	for _, f := range m.Flows {
 		f.Delivered.Reset(now)
 		f.Latency.Reset()

@@ -1,0 +1,160 @@
+package iosys
+
+import (
+	"ceio/internal/telemetry"
+)
+
+// MetricSource is implemented by datapaths (and other attachments) that
+// export their own counters into the machine's telemetry registry. It is
+// the metrics analogue of FaultAware: NewMachineE probes for it after
+// Attach, so a datapath's series appear alongside the machine's without
+// the machine knowing any architecture's internals.
+type MetricSource interface {
+	RegisterMetrics(reg *telemetry.Registry)
+}
+
+// registerMetrics publishes every mechanism-layer component of the
+// machine into its telemetry registry under the documented namespace
+// (see OBSERVABILITY.md). All readers are closures over live component
+// state: nothing is copied, counted twice, or touched on the hot path.
+func (m *Machine) registerMetrics() {
+	reg := m.Reg
+
+	reg.Counter("sim.events_total", "Simulation events processed by the engine.",
+		func() uint64 { return m.Eng.Processed })
+
+	// Last-level cache: the DDIO region the paper's whole argument is
+	// about (§2.2). Occupancy + miss ratio are the curves Figures 4/10
+	// are read from.
+	llc := m.LLC
+	reg.Counter("cache.llc.hits_total", "LLC lookups served from the cache.",
+		func() uint64 { return llc.Hits })
+	reg.Counter("cache.llc.misses_total", "LLC lookups that fell through to DRAM.",
+		func() uint64 { return llc.Misses })
+	reg.Counter("cache.llc.evictions_total", "I/O buffers evicted from the DDIO region to DRAM.",
+		func() uint64 { return llc.Evictions })
+	reg.Counter("cache.llc.insertions_total", "DDIO writes admitted into the LLC.",
+		func() uint64 { return llc.Insertions })
+	reg.Gauge("cache.llc.miss_ratio", "Window LLC miss ratio, misses/(hits+misses).",
+		llc.MissRate)
+	reg.Gauge("cache.llc.capacity_bytes", "Configured DDIO-region capacity.",
+		func() float64 { return float64(llc.Capacity()) })
+	reg.Gauge("cache.llc.resident_count", "I/O buffers currently resident in the DDIO region.",
+		func() float64 { return float64(llc.Len()) })
+	const ddioHelp = "Bytes of in-flight I/O data resident in the DDIO region (per tenant partition when labelled)."
+	reg.Gauge("cache.llc.ddio.occupancy_bytes", ddioHelp,
+		func() float64 { return float64(llc.Occupancy()) })
+
+	// IIO staging buffer: HostCC's congestion signal (§2.3).
+	iio := m.IIO
+	reg.Gauge("cache.iio.occupancy_bytes", "Bytes staged in the IIO buffer between PCIe and the cache.",
+		func() float64 { return float64(iio.Occupancy()) })
+	reg.Gauge("cache.iio.capacity_bytes", "Configured IIO staging-buffer capacity.",
+		func() float64 { return float64(iio.Capacity()) })
+	reg.Gauge("cache.iio.peak_bytes", "High-water mark of IIO occupancy this run.",
+		func() float64 { return float64(iio.PeakBytes) })
+	reg.Counter("cache.iio.enqueued_total", "DMA writes admitted into the IIO buffer.",
+		func() uint64 { return iio.Enqueued })
+	reg.Counter("cache.iio.rejects_total", "DMA writes refused by a full IIO buffer (backpressure).",
+		func() uint64 { return iio.Dropped })
+
+	// DRAM behind the LLC: the shared memory-controller bandwidth both
+	// miss fetches and bypass bulk moves contend for (§2.2).
+	mem := m.Mem
+	reg.Counter("cache.mem.miss_fetches_total", "CPU fetches of I/O data that missed the LLC.",
+		func() uint64 { return mem.MissFetches })
+	reg.Counter("cache.mem.writebacks_total", "Dirty I/O buffers written back from LLC to DRAM.",
+		func() uint64 { return mem.Writebacks })
+	reg.Counter("cache.mem.bulk_moves_total", "CPU-bypass bulk transfers through the memory controller.",
+		func() uint64 { return mem.BulkMoves })
+	reg.Gauge("cache.mem.queue_delay_ns", "Current memory-controller queueing delay.",
+		func() float64 { return float64(mem.QueueDelay()) })
+
+	// PCIe: DMA engine counters and link utilisation.
+	dma := m.DMA
+	reg.Counter("pcie.dma.writes_total", "DMA writes issued toward host memory.",
+		func() uint64 { return dma.Writes })
+	reg.Counter("pcie.dma.reads_total", "Slow-path DMA reads issued from on-NIC memory.",
+		func() uint64 { return dma.Reads })
+	reg.Counter("pcie.dma.credit_stalls_total", "DMA writes deferred waiting for a write credit.",
+		func() uint64 { return dma.CreditStalls })
+	reg.Counter("pcie.dma.read_stalls_total", "DMA reads deferred waiting for a read tag.",
+		func() uint64 { return dma.ReadStalls })
+	reg.Counter("pcie.dma.iio_backpressure_total", "DMA writes deferred by a full IIO buffer.",
+		func() uint64 { return dma.IIOBackpressure })
+	reg.Counter("pcie.dma.fault_stalls_total", "DMA operations deferred by injected stall faults.",
+		func() uint64 { return dma.FaultStalls })
+	reg.Gauge("pcie.dma.outstanding_writes_count", "Write credits currently in use.",
+		func() float64 { return float64(dma.OutstandingWrites()) })
+	reg.Gauge("pcie.dma.outstanding_reads_count", "Read tags currently in use.",
+		func() float64 { return float64(dma.OutstandingReads()) })
+	reg.Gauge("pcie.uplink.utilization_ratio", "NIC-to-host PCIe link utilisation.",
+		m.ToHost.Utilization)
+	reg.Gauge("pcie.downlink.utilization_ratio", "Host-to-NIC PCIe link utilisation.",
+		m.ToNIC.Utilization)
+
+	// Machine-level delivery accounting: the throughput/latency numbers
+	// every experiment table reports.
+	reg.Counter("iosys.delivered.packets_total", "Packets handed to the application.",
+		func() uint64 { return m.Delivered.Packets })
+	reg.Counter("iosys.delivered.bytes_total", "Payload bytes handed to the application.",
+		func() uint64 { return m.Delivered.Bytes })
+	reg.Gauge("iosys.delivered.rate_mpps", "Window delivery rate, million packets/s.",
+		func() float64 { return m.Delivered.Mpps(m.Eng.Now()) })
+	reg.Gauge("iosys.delivered.rate_gbps", "Window delivery goodput, Gbit/s.",
+		func() float64 { return m.Delivered.Gbps(m.Eng.Now()) })
+	reg.Counter("iosys.involved.packets_total", "CPU-involved packets delivered.",
+		func() uint64 { return m.InvolvedMeter.Packets })
+	reg.Gauge("iosys.involved.rate_mpps", "CPU-involved delivery rate, million packets/s.",
+		func() float64 { return m.InvolvedMeter.Mpps(m.Eng.Now()) })
+	reg.Counter("iosys.bypass.bytes_total", "CPU-bypass payload bytes delivered.",
+		func() uint64 { return m.BypassMeter.Bytes })
+	reg.Gauge("iosys.bypass.rate_gbps", "CPU-bypass delivery goodput, Gbit/s.",
+		func() float64 { return m.BypassMeter.Gbps(m.Eng.Now()) })
+	reg.Counter("iosys.drops_total", "Packets dropped anywhere in the datapath.",
+		func() uint64 { return m.TotalDrops })
+	reg.Counter("iosys.hostbuf.drops_total", "Packets dropped for lack of a pooled host I/O buffer.",
+		func() uint64 { return m.NoHostBufDrops })
+	reg.Counter("iosys.faults.wire_drops_total", "Frames lost to injected wire-drop faults.",
+		func() uint64 { return m.FaultDrops })
+	reg.Counter("iosys.faults.wire_corrupts_total", "Frames discarded after injected corruption (FCS fail).",
+		func() uint64 { return m.FaultCorrupts })
+	reg.Gauge("iosys.nicmem.used_bytes", "On-NIC elastic-buffer bytes in use.",
+		func() float64 { return float64(m.NICMemUsed) })
+	reg.Gauge("iosys.flows.active_count", "Established flows.",
+		func() float64 { return float64(len(m.Flows)) })
+	reg.Gauge("iosys.flows.involved_count", "Established CPU-involved flows.",
+		func() float64 { return float64(m.InvolvedFlowCount()) })
+	reg.Histogram("iosys.delivery.latency_ns", "Packet latency from NIC arrival to application delivery.",
+		&m.Latency)
+
+	// Tenancy: per-tenant partition state and accounting (the IOCA-style
+	// repartitioning story; the recovery in the dynamic mode is read off
+	// these curves).
+	if m.Tenants != nil {
+		for _, t := range m.Tenants.Tenants() {
+			t := t
+			lbl := telemetry.L("tenant", t.ID)
+			reg.Gauge("cache.llc.ddio.occupancy_bytes", ddioHelp,
+				func() float64 { return float64(llc.PartOccupancy(t.Part)) }, lbl)
+			reg.Gauge("tenant.ways_count", "LLC ways currently allocated to the tenant.",
+				func() float64 { return float64(t.Ways) }, lbl)
+			reg.Gauge("tenant.flows.active_count", "The tenant's established flows.",
+				func() float64 { return float64(t.Flows) }, lbl)
+			reg.Counter("tenant.llc.hits_total", "The tenant's LLC hits.",
+				func() uint64 { return t.Hits }, lbl)
+			reg.Counter("tenant.llc.misses_total", "The tenant's LLC misses.",
+				func() uint64 { return t.Misses }, lbl)
+			reg.Gauge("tenant.llc.miss_ratio", "The tenant's window LLC miss ratio.",
+				t.MissRate, lbl)
+			reg.Gauge("tenant.delivered.rate_mpps", "The tenant's delivery rate, million packets/s.",
+				func() float64 { return t.Delivered.Mpps(m.Eng.Now()) }, lbl)
+			reg.Gauge("tenant.delivered.rate_gbps", "The tenant's delivery goodput, Gbit/s.",
+				func() float64 { return t.Delivered.Gbps(m.Eng.Now()) }, lbl)
+		}
+		reg.Gauge("tenant.shared.ways_count", "LLC ways in the shared pool.",
+			func() float64 { return float64(m.Tenants.SharedWays()) })
+		reg.Counter("tenant.ways_moved_total", "Way reassignments performed by the dynamic controller.",
+			func() uint64 { return m.Tenants.WaysMoved })
+	}
+}

@@ -1,6 +1,12 @@
 // Package pkt defines the packet descriptor shared by the NIC, ring, and
 // host layers. A Packet is a descriptor, not payload: the simulation tracks
 // data placement through cache.BufID identities rather than bytes.
+//
+// Paper-side counterpart (per the DESIGN.md substitution table): the rx
+// descriptors the NIC DMA-writes alongside payloads into host rings
+// (§2.1's receive path) — carrying here the flow identity, delivery
+// sequencing, message framing, and fast/slow path tag that CEIO's SW
+// ring ordering protocol (§4.1) depends on.
 package pkt
 
 import (

@@ -1,5 +1,11 @@
 // Package runner provides the bounded worker pool that fans independent
-// simulation runs across CPU cores. Every run owns its sim.Engine, so
+// simulation runs across CPU cores. Paper-side counterpart (per the
+// DESIGN.md substitution table): the evaluation harness that drives each
+// testbed configuration of §6.1 — here many simulated machines run
+// concurrently instead of one testbed run at a time, without changing
+// any measured number.
+//
+// Every run owns its sim.Engine, so
 // runs share no state and execute in any order; determinism comes from
 // collecting results into index-ordered slots, which makes the rendered
 // output of a parallel run byte-identical to the serial run for a given

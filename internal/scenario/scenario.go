@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"ceio/internal/iosys"
+	"ceio/internal/render"
 	"ceio/internal/sim"
 	"ceio/internal/workload"
 )
@@ -156,7 +157,14 @@ func buildSpec(f FlowSpec) (iosys.FlowSpec, error) {
 }
 
 // Run executes the scenario and returns its result.
-func (s *Spec) Run() (*Result, error) {
+func (s *Spec) Run() (*Result, error) { return s.RunInstrumented(nil) }
+
+// RunInstrumented is Run with a hook invoked on the freshly built
+// machine before any flow is added, for attaching observers (tracers,
+// telemetry samplers) to a declarative run. The hook must only attach
+// read-side instrumentation; mutating machine state breaks the scenario
+// contract that a spec alone determines the result.
+func (s *Spec) RunInstrumented(setup func(*iosys.Machine)) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,6 +173,9 @@ func (s *Spec) Run() (*Result, error) {
 		cfg.Seed = s.Seed
 	}
 	m := iosys.NewMachine(cfg, workload.NewDatapath(workload.Method(s.Arch)))
+	if setup != nil {
+		setup(m)
+	}
 
 	ms := func(v float64) sim.Time { return sim.Time(v * float64(sim.Millisecond)) }
 	kinds := make(map[int]string, len(s.Flows))
@@ -188,14 +199,16 @@ func (s *Spec) Run() (*Result, error) {
 	m.Run(ms(s.WarmupMs + s.DurationMs))
 
 	now := m.Eng.Now()
+	// Aggregates read from the telemetry registry: the same source of
+	// truth the exporters and `ceio-sim` snapshots use.
 	res := &Result{
 		Arch:         s.Arch,
-		TotalMpps:    m.Delivered.Mpps(now),
-		TotalGbps:    m.Delivered.Gbps(now),
-		InvolvedMpps: m.InvolvedMeter.Mpps(now),
-		BypassGbps:   m.BypassMeter.Gbps(now),
-		LLCMissRate:  m.LLC.MissRate(),
-		Drops:        m.TotalDrops,
+		TotalMpps:    m.Reg.Value("iosys.delivered.rate_mpps"),
+		TotalGbps:    m.Reg.Value("iosys.delivered.rate_gbps"),
+		InvolvedMpps: m.Reg.Value("iosys.involved.rate_mpps"),
+		BypassGbps:   m.Reg.Value("iosys.bypass.rate_gbps"),
+		LLCMissRate:  m.Reg.Value("cache.llc.miss_ratio"),
+		Drops:        uint64(m.Reg.Value("iosys.drops_total")),
 	}
 	ids := make([]int, 0, len(m.Flows))
 	for id := range m.Flows {
@@ -217,4 +230,15 @@ func (s *Spec) Run() (*Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// WriteText renders the result for terminals: the aggregate summary
+// line followed by one aligned line per flow (shared renderer, so
+// `ceio-sim -config` output matches flag-built runs).
+func (r *Result) WriteText(w io.Writer) {
+	fmt.Fprintln(w, render.SummaryLine(r.Arch, r.TotalMpps, r.TotalGbps, r.InvolvedMpps, r.BypassGbps, r.LLCMissRate, r.Drops))
+	for _, fr := range r.Flows {
+		label := fmt.Sprintf("flow %-4d %-8s", fr.ID, fr.Kind)
+		fmt.Fprintln(w, render.FlowLine(label, fr.Mpps, fr.Gbps, fr.P50Us, fr.P99Us, fr.P999Us, fr.Drops))
+	}
 }

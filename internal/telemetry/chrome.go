@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ceio/internal/trace"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("JSON Array
+// Format" with async begin/end and instant phases), as understood by
+// chrome://tracing and Perfetto.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	ID    string         `json:"id,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// BuildChromeTrace converts internal/trace ring events into a Chrome
+// trace document. Each flow becomes a "process" row; each packet's life
+// becomes an async span opened by its NIC arrival and closed by delivery
+// or drop, with the intermediate datapath verdicts (fast/slow steering,
+// DMA landing, slow-path reads, mode flips) as instant events on the
+// same row. Timestamps convert from simulated nanoseconds to the
+// format's microseconds.
+func BuildChromeTrace(events []trace.Event) ChromeTrace {
+	doc := ChromeTrace{TraceEvents: []ChromeEvent{}, DisplayTimeUnit: "ns"}
+	flows := map[int]bool{}
+	for _, e := range events {
+		flows[e.FlowID] = true
+	}
+	flowIDs := make([]int, 0, len(flows))
+	for id := range flows {
+		flowIDs = append(flowIDs, id)
+	}
+	sort.Ints(flowIDs)
+	for _, id := range flowIDs {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			Pid:   id,
+			Args:  map[string]any{"name": fmt.Sprintf("flow %d", id)},
+		})
+	}
+	for _, e := range events {
+		ce := ChromeEvent{
+			Name: e.Kind.String(),
+			TsUs: float64(e.T) / 1e3,
+			Pid:  e.FlowID,
+			Tid:  0,
+			Args: map[string]any{"seq": e.Seq},
+		}
+		switch e.Kind {
+		case trace.KindArrive:
+			ce.Name = "packet"
+			ce.Phase = "b"
+			ce.Cat = "packet"
+			ce.ID = packetSpanID(e.FlowID, e.Seq)
+		case trace.KindDelivered, trace.KindDropped, trace.KindFault:
+			// Close the packet span, then also mark how it ended.
+			end := ce
+			end.Name = "packet"
+			end.Phase = "e"
+			end.Cat = "packet"
+			end.ID = packetSpanID(e.FlowID, e.Seq)
+			end.Args = map[string]any{"seq": e.Seq, "outcome": e.Kind.String()}
+			doc.TraceEvents = append(doc.TraceEvents, end)
+			continue
+		default:
+			ce.Phase = "i"
+			ce.Cat = "datapath"
+			ce.Args["s"] = "t" // instant scope: thread
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	return doc
+}
+
+// packetSpanID is the async-span identity of one packet.
+func packetSpanID(flowID int, seq uint64) string {
+	return fmt.Sprintf("%d:%d", flowID, seq)
+}
+
+// WriteChromeTrace writes ring events as Chrome trace-event JSON,
+// openable in chrome://tracing or Perfetto. Events are emitted in the
+// ring's chronological order, so output is deterministic.
+func WriteChromeTrace(w io.Writer, events []trace.Event) error {
+	doc := BuildChromeTrace(events)
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

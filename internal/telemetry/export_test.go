@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ceio/internal/sim"
+	"ceio/internal/stats"
+	"ceio/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a small fixed registry exercising counters,
+// labelled gauges, and a histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	hits, misses := uint64(900), uint64(100)
+	r.Counter("cache.llc.hits_total", "LLC lookups served from the cache.", func() uint64 { return hits })
+	r.Counter("cache.llc.misses_total", "LLC lookups that went to DRAM.", func() uint64 { return misses })
+	r.Gauge("cache.llc.miss_ratio", "Window LLC miss ratio.", func() float64 {
+		return float64(misses) / float64(hits+misses)
+	})
+	occ := map[string]float64{"kv": 65536, "bulk": 262144}
+	for _, tn := range []string{"kv", "bulk"} {
+		tn := tn
+		r.Gauge("cache.llc.ddio.occupancy_bytes", "Bytes of I/O data resident in the tenant's DDIO partition.",
+			func() float64 { return occ[tn] }, L("tenant", tn))
+	}
+	var h stats.Histogram
+	for _, v := range []int64{1000, 2000, 2000, 4000, 16000} {
+		h.Record(v)
+	}
+	r.Histogram("iosys.delivery.latency_ns", "Packet NIC-arrival to delivery latency.", &h)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.prom", buf.Bytes())
+
+	// The exposition must parse with the minimal parser and round numbers
+	// back exactly.
+	samples, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, buf.String())
+	}
+	if got := samples["ceio_cache_llc_hits_total"]; got != 900 {
+		t.Errorf("parsed hits = %v, want 900", got)
+	}
+	if got := samples[`ceio_cache_llc_ddio_occupancy_bytes{tenant="bulk"}`]; got != 262144 {
+		t.Errorf("parsed bulk occupancy = %v, want 262144", got)
+	}
+	if got := samples["ceio_iosys_delivery_latency_ns_count"]; got != 5 {
+		t.Errorf("parsed latency count = %v, want 5", got)
+	}
+	if _, ok := samples[`ceio_iosys_delivery_latency_ns{quantile="0.99"}`]; !ok {
+		t.Error("missing p99 quantile sample")
+	}
+}
+
+// sampledRun drives a tiny simulation-clock run with two evolving metrics.
+func sampledRun(t *testing.T) *Sampler {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	r := NewRegistry()
+	var pkts uint64
+	var occ float64
+	r.Counter("iosys.delivered.packets_total", "Delivered packets.", func() uint64 { return pkts })
+	r.Gauge("cache.llc.ddio.occupancy_bytes", "DDIO-resident bytes.", func() float64 { return occ },
+		L("tenant", "kv"))
+	// Mutate state every 250µs; sample every 1ms.
+	eng.Every(250*sim.Microsecond, 250*sim.Microsecond, func() {
+		pkts += 10
+		occ = float64(pkts) * 64
+	})
+	s := NewSampler(eng, r, sim.Millisecond, nil)
+	eng.RunUntil(5 * sim.Millisecond)
+	s.Stop()
+	return s
+}
+
+func TestSamplerCSVGolden(t *testing.T) {
+	s := sampledRun(t)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series.csv", buf.Bytes())
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 6 { // header + 5 ticks
+		t.Fatalf("CSV has %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestSamplerJSONLGolden(t *testing.T) {
+	s := sampledRun(t)
+	var buf bytes.Buffer
+	if err := s.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "series.jsonl", buf.Bytes())
+	// Every line must be valid standalone JSON.
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var row struct {
+			T      int64              `json:"t_ns"`
+			Values map[string]float64 `json:"values"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if row.T <= 0 || len(row.Values) != 2 {
+			t.Errorf("unexpected row: %+v", row)
+		}
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	render := func() string {
+		s := sampledRun(t)
+		var buf bytes.Buffer
+		if err := s.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("sampled series differ across identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func traceFixture() []trace.Event {
+	tr := trace.New(64)
+	tr.Record(1000, trace.KindArrive, 1, 0)
+	tr.Record(1200, trace.KindFastPath, 1, 0)
+	tr.Record(1500, trace.KindLanded, 1, 0)
+	tr.Record(2000, trace.KindDelivered, 1, 0)
+	tr.Record(2100, trace.KindArrive, 2, 0)
+	tr.Record(2200, trace.KindSlowPath, 2, 0)
+	tr.Record(2400, trace.KindReadIssued, 2, 0)
+	tr.Record(3000, trace.KindDropped, 2, 0)
+	return tr.Events()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "timeline.json", buf.Bytes())
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()); err != nil {
+		t.Fatal(err)
+	}
+	var doc ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// Re-marshalling the parsed document must reproduce the bytes: the
+	// format round-trips with no loss.
+	again, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(again)+"\n", buf.String(); got != want {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", got, want)
+	}
+	// Structural checks: every async begin has a matching end, spans are
+	// per-packet, metadata names each flow.
+	begins, ends, metas := 0, 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "M":
+			metas++
+		}
+	}
+	if begins != 2 || ends != 2 || metas != 2 {
+		t.Errorf("spans: %d begins, %d ends, %d metas; want 2/2/2", begins, ends, metas)
+	}
+}

@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromName maps a dotted registry name onto the Prometheus metric
+// namespace: dots become underscores and everything gains a "ceio_"
+// prefix, so "cache.llc.hits_total" scrapes as "ceio_cache_llc_hits_total".
+func PromName(name string) string {
+	return "ceio_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// promLabels renders a Prometheus label block (or "" when empty),
+// optionally appending extra labels (used for summary quantiles).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		// Label values are pre-validated to exclude quotes, backslashes and
+		// newlines, so no escaping pass is needed.
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promValue formats a sample per the exposition format.
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histQuantiles are the summary quantiles exported for histograms.
+var histQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4). Scalar metrics export as counter/gauge
+// samples; histograms export as summaries with p50/p99/p99.9 quantiles
+// plus _sum and _count, matching what the paper reports for latency
+// distributions. Families are emitted in sorted-identity order with one
+// HELP/TYPE header each, so output is deterministic.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.Metrics() {
+		pname := PromName(m.Name)
+		if m.Name != lastFamily {
+			lastFamily = m.Name
+			typ := "counter"
+			switch m.Kind {
+			case KindGauge:
+				typ = "gauge"
+			case KindHistogram:
+				typ = "summary"
+			}
+			fmt.Fprintf(bw, "# HELP %s %s\n", pname, m.Help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", pname, typ)
+		}
+		if h := m.Hist(); h != nil {
+			for _, q := range histQuantiles {
+				fmt.Fprintf(bw, "%s%s %s\n", pname,
+					promLabels(m.Labels, L("quantile", q.label)),
+					promValue(float64(h.Percentile(q.q))))
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", pname, promLabels(m.Labels),
+				promValue(h.Mean()*float64(h.Count())))
+			fmt.Fprintf(bw, "%s_count%s %d\n", pname, promLabels(m.Labels), h.Count())
+			continue
+		}
+		fmt.Fprintf(bw, "%s%s %s\n", pname, promLabels(m.Labels), promValue(m.Value()))
+	}
+	return bw.Flush()
+}
+
+// ParseExposition is a minimal parser for the Prometheus text format:
+// enough to verify that WritePrometheus emits well-formed output and to
+// read values back in tests. It returns samples keyed by the full series
+// string (name plus label block, exactly as written) and rejects
+// malformed lines.
+func ParseExposition(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkExpositionComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		series, val, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if _, dup := out[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		out[series] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// checkExpositionComment validates HELP/TYPE comment lines.
+func checkExpositionComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 {
+			return fmt.Errorf("HELP line %q missing text", line)
+		}
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "summary", "histogram", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	default:
+		return fmt.Errorf("unknown comment directive %q", fields[1])
+	}
+	return nil
+}
+
+// parseSample splits one sample line into its series string and value.
+func parseSample(line string) (string, float64, error) {
+	// The series part ends at the last space before the value; label
+	// values cannot contain spaces in our output, but split from the right
+	// to be safe.
+	idx := strings.LastIndexByte(line, ' ')
+	if idx <= 0 {
+		return "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	series, valStr := line[:idx], line[idx+1:]
+	name := series
+	if b := strings.IndexByte(series, '{'); b >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", 0, fmt.Errorf("unterminated label block in %q", series)
+		}
+		name = series[:b]
+		if err := checkLabelBlock(series[b+1 : len(series)-1]); err != nil {
+			return "", 0, fmt.Errorf("series %q: %w", series, err)
+		}
+	}
+	if !isPromName(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("series %q: bad value %q", series, valStr)
+	}
+	return series, val, nil
+}
+
+// checkLabelBlock validates the interior of a {k="v",...} block.
+func checkLabelBlock(block string) error {
+	if block == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(block, ",") {
+		eq := strings.IndexByte(pair, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label %q", pair)
+		}
+		key, val := pair[:eq], pair[eq+1:]
+		if !isPromName(key) {
+			return fmt.Errorf("invalid label key %q", key)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return fmt.Errorf("unquoted label value %q", val)
+		}
+	}
+	return nil
+}
+
+// isPromName reports whether s is a valid Prometheus metric/label name.
+func isPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
