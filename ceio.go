@@ -25,6 +25,7 @@ package ceio
 
 import (
 	"fmt"
+	"strconv"
 
 	"ceio/internal/core"
 	"ceio/internal/iosys"
@@ -228,6 +229,9 @@ type Snapshot struct {
 	// Tenants holds per-tenant metrics when the machine is tenanted
 	// (Config.Tenancy set), in registry order; nil otherwise.
 	Tenants []TenantSnapshot
+	// Cores holds per-core metrics when the machine is multi-queue
+	// (Config.Cores > 0), in queue order; nil otherwise.
+	Cores []CoreSnapshot
 }
 
 // TenantSnapshot is one tenant's slice of a Snapshot.
@@ -237,6 +241,17 @@ type TenantSnapshot struct {
 	LLCMissRate float64
 	Mpps        float64
 	Gbps        float64
+}
+
+// CoreSnapshot is one rx-queue core's slice of a Snapshot on a
+// multi-queue machine.
+type CoreSnapshot struct {
+	Queue       int
+	Flows       int // CPU-involved flows currently assigned to the core
+	Processed   uint64
+	BusyRatio   float64
+	LLCMissRate float64 // consume-side misses attributed to this core
+	CreditShare int     // CEIO's carved slice of C_total (0 on other arches)
 }
 
 // Snapshot captures the current aggregate metrics. Every value is read
@@ -269,6 +284,18 @@ func (s *Simulator) Snapshot() Snapshot {
 			})
 		}
 	}
+	for q := 0; q < s.m.Cfg.Cores; q++ {
+		lbl := MetricLabel{Key: "core", Value: strconv.Itoa(q)}
+		sn.Cores = append(sn.Cores, CoreSnapshot{
+			Queue:       q,
+			Flows:       int(reg.Value("iosys.core.flows.active_count", lbl)),
+			Processed:   uint64(reg.Value("iosys.core.processed_total", lbl)),
+			BusyRatio:   reg.Value("iosys.core.busy_ratio", lbl),
+			LLCMissRate: reg.Value("cache.llc.core.miss_ratio", lbl),
+			// Registered by the CEIO datapath only; Value reads 0 elsewhere.
+			CreditShare: int(reg.Value("core.ceio.credits.share_count", lbl)),
+		})
+	}
 	return sn
 }
 
@@ -280,6 +307,13 @@ func (sn Snapshot) String() string {
 	for _, t := range sn.Tenants {
 		s += fmt.Sprintf("\n  tenant %-8s ways=%d  %.2f Mpps / %.2f Gbps, LLC miss %.1f%%",
 			t.ID, t.Ways, t.Mpps, t.Gbps, t.LLCMissRate*100)
+	}
+	for _, c := range sn.Cores {
+		s += fmt.Sprintf("\n  core %d  flows=%d  processed=%d  busy %.1f%%, LLC miss %.1f%%",
+			c.Queue, c.Flows, c.Processed, c.BusyRatio*100, c.LLCMissRate*100)
+		if c.CreditShare > 0 {
+			s += fmt.Sprintf(", credit share %d", c.CreditShare)
+		}
 	}
 	return s
 }

@@ -72,6 +72,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	cores := flag.Int("cores", 0, "base machine CPU cores behind an RSS dispatch stage (0 = legacy one core per flow; the cores experiment sweeps its own counts)")
 	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for independent runs (1 = serial)")
 	seeds := flag.Int("seeds", 1, "seed replicas per measurement: scalars report min/mean/max, latency histograms merge")
 	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
@@ -99,6 +100,7 @@ func main() {
 		cfg = experiments.QuickConfig()
 	}
 	cfg.Machine.Seed = *seed
+	cfg.Machine.Cores = *cores
 	cfg.Seeds = *seeds
 	cfg.SampleEvery = sim.Time(sampleEvery.Nanoseconds())
 	if *tenantLayout != "" {

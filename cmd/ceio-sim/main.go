@@ -56,6 +56,7 @@ func main() {
 	dur := flag.Duration("dur", 20*time.Millisecond, "simulated duration")
 	warm := flag.Duration("warmup", 5*time.Millisecond, "warm-up excluded from metrics")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	cores := flag.Int("cores", 0, "CPU cores behind an RSS dispatch stage (0 = legacy one core per flow)")
 	traceN := flag.Int("trace", 0, "dump the last N per-packet datapath events")
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
@@ -96,6 +97,7 @@ func main() {
 	}
 	cfg := ceio.DefaultConfig()
 	cfg.Seed = *seed
+	cfg.Cores = *cores
 	// Tenant tags for flag-built flows: CPU-involved flows (kv, echo) land
 	// in the first declared tenant, file transfers (dfs) in the second.
 	var involvedTenant, bypassTenant string

@@ -31,6 +31,24 @@ type PartStats struct {
 	Misses     uint64
 }
 
+// QueueStats counts the consume-side cache events attributed to one rx
+// queue's core on a multi-queue machine. Unlike PartStats (where the DMA
+// writes land), queue attribution records which core paid for each read,
+// so per-core hit rates expose cross-core LLC contention.
+type QueueStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// MissRate returns misses/(hits+misses) for this queue.
+func (s QueueStats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
 // partition is one way-granular slice of the DDIO region: an independent
 // LRU list with its own byte capacity. The unpartitioned cache is exactly
 // one partition spanning the whole region.
@@ -54,6 +72,10 @@ type LLC struct {
 
 	entries map[BufID]*node
 	parts   []partition
+
+	// queueStats, when enabled, attributes consume-side hits/misses to rx
+	// queues (one slot per simulated core); nil on single-core machines.
+	queueStats []QueueStats
 
 	// onEvict, if set, is invoked for each buffer evicted to DRAM.
 	onEvict func(BufID)
@@ -339,6 +361,37 @@ func (c *LLC) Drop(id BufID) {
 	}
 }
 
+// EnableQueueStats arms per-queue consume attribution for n rx queues.
+func (c *LLC) EnableQueueStats(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("cache: EnableQueueStats needs a positive queue count, got %d", n))
+	}
+	c.queueStats = make([]QueueStats, n)
+}
+
+// AccountQueue attributes one consume-side hit or miss to rx queue q. A
+// no-op when queue stats are disabled or q is out of range (legacy flows
+// carry queue -1).
+func (c *LLC) AccountQueue(q int, hit bool) {
+	if c.queueStats == nil || q < 0 || q >= len(c.queueStats) {
+		return
+	}
+	if hit {
+		c.queueStats[q].Hits++
+	} else {
+		c.queueStats[q].Misses++
+	}
+}
+
+// QueueStats returns a copy of rx queue q's consume-side counters (the
+// zero value when queue stats are disabled or q is out of range).
+func (c *LLC) QueueStats(q int) QueueStats {
+	if c.queueStats == nil || q < 0 || q >= len(c.queueStats) {
+		return QueueStats{}
+	}
+	return c.queueStats[q]
+}
+
 // MissRate returns misses/(hits+misses) over all partitions.
 func (c *LLC) MissRate() float64 {
 	t := c.Hits + c.Misses
@@ -355,6 +408,9 @@ func (c *LLC) ResetStats() {
 	c.Insertions, c.Evictions, c.Hits, c.Misses = 0, 0, 0, 0
 	for i := range c.parts {
 		c.parts[i].stats = PartStats{}
+	}
+	for i := range c.queueStats {
+		c.queueStats[i] = QueueStats{}
 	}
 }
 

@@ -147,6 +147,11 @@ type CEIO struct {
 	rrCursor int
 	mpqInUse int // shared credits consumed (MPQ scheduler only)
 
+	// coreShares carves C_total into per-rx-queue-core budgets on a
+	// multi-queue machine (see coreshare.go); nil when Cores == 0 or under
+	// the MPQ strawman.
+	coreShares []int
+
 	// faultMode is set once fault injection is armed: rings tolerate
 	// protocol violations, reconciliation runs, and graceful shedding under
 	// on-NIC memory pressure activates. Never set in fault-free runs, so
@@ -168,6 +173,12 @@ type CEIO struct {
 	// flow's tenant had its whole partition budget in flight (packets
 	// divert to the slow path instead of evicting co-tenants' buffers).
 	TenantRejects uint64
+	// CoreRejects counts fast-path admissions refused because the flow's
+	// rx-queue core had its whole credit share in flight.
+	CoreRejects uint64
+	// CoreCreditsMoved counts credits the active-flow scan moved between
+	// cores when re-carving the per-core shares.
+	CoreCreditsMoved uint64
 
 	// Fault-handling statistics (all zero in fault-free runs).
 	CreditLossEvents uint64 // release messages lost to injection
@@ -243,6 +254,11 @@ func (c *CEIO) Attach(m *iosys.Machine) {
 		total = m.Cfg.TotalCredits()
 	}
 	c.ctrl = NewCreditController(total)
+	if m.Cfg.Cores > 0 && c.opt.MPQ == nil {
+		// Multi-queue machine: carve C_total into per-core shares (equal
+		// until the active-flow scan learns the per-core populations).
+		c.coreShares = carveShares(total, make([]int, m.Cfg.Cores))
+	}
 	if c.opt.CreditRealloc && c.opt.MPQ == nil {
 		m.Eng.Every(c.opt.ScanPeriod, c.opt.ScanPeriod, c.scanActiveFlows)
 		m.Eng.Every(c.opt.ReactivatePeriod, c.opt.ReactivatePeriod, c.reactivateRoundRobin)
@@ -463,6 +479,13 @@ func (c *CEIO) admit(st *flowState, p *pkt.Packet) bool {
 	// waymasks, anyone else's) allocation.
 	if !c.tenantBudgetOK(st) {
 		c.TenantRejects++
+		return false
+	}
+	// The same bound per rx-queue core: a core with its whole carved share
+	// in flight diverts to the slow path rather than evicting buffers the
+	// other cores have yet to consume.
+	if !c.coreBudgetOK(st) {
+		c.CoreRejects++
 		return false
 	}
 	if !c.ctrl.Consume(st.f.ID) {
@@ -942,6 +965,11 @@ func (c *CEIO) maybeResumeFast(st *flowState) {
 		// reject — this is a gate, not an admission attempt.
 		return
 	}
+	if c.opt.MPQ == nil && !c.coreBudgetOK(st) {
+		// Likewise for the flow's rx-queue core: its share is still fully
+		// in flight, so resuming would thrash the steering rule.
+		return
+	}
 	st.mode = pkt.PathFast
 	c.setSteer(st, flowsteer.ActionFastPath)
 	c.m.Trace(trace.KindModeFast, st.f.ID, 0)
@@ -1008,6 +1036,9 @@ func (c *CEIO) scanActiveFlows() {
 			c.ctrl.Grant(id, c.opt.ReactivateQuota-have)
 		}
 	}
+	// Move per-core shares toward the cores that carry the active flows,
+	// the inter-core analogue of the per-flow top-up above.
+	c.recarveCoreShares(active)
 }
 
 // reactivateRoundRobin is the backup fairness timer: it periodically

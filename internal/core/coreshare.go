@@ -1,0 +1,120 @@
+package core
+
+// Per-core credit shares: on a multi-queue machine (Config.Cores > 0) the
+// Eq. 1 budget C_total is carved into one share per rx-queue core, the
+// same way a partitioned machine carves it per tenant. A core whose flows
+// hold its whole share in flight diverts further arrivals to the slow
+// path instead of letting one hot core's DMA writes evict the buffers of
+// flows other cores have yet to consume — Algorithm 1's bound applied at
+// core granularity. Shares derive from the per-flow InUse ledger (a
+// flow's controller InUse count is exactly its in-flight fast-path packet
+// population), so the per-core holdings are computed, never double-booked,
+// and cannot drift. The active-flow scan re-carves shares by per-core
+// active-flow population, moving credits between cores the same way the
+// Q3 reallocation moves them between flows.
+
+// carveShares splits total credits across len(weights) shares,
+// proportionally to the weights (equally when all weights are zero).
+// Remainders go to the lowest indexes, so the result always sums exactly
+// to total and is deterministic.
+func carveShares(total int, weights []int) []int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	sumW := 0
+	for _, w := range weights {
+		if w > 0 {
+			sumW += w
+		}
+	}
+	shares := make([]int, n)
+	given := 0
+	if sumW == 0 {
+		for i := range shares {
+			shares[i] = total / n
+			given += shares[i]
+		}
+	} else {
+		for i, w := range weights {
+			if w > 0 {
+				shares[i] = total * w / sumW
+				given += shares[i]
+			}
+		}
+	}
+	for i := 0; given < total; i = (i + 1) % n {
+		if sumW == 0 || weights[i] > 0 {
+			shares[i]++
+			given++
+		}
+	}
+	return shares
+}
+
+// coreInUse sums the fast-path credits currently in flight for the flows
+// RSS dispatched onto rx queue q (the per-core analogue of tenantInUse).
+func (c *CEIO) coreInUse(q int) int {
+	held := 0
+	for _, st := range c.flows {
+		if st.f.QueueIndex() == q {
+			if f := c.ctrl.Flow(st.f.ID); f != nil {
+				held += f.InUse
+			}
+		}
+	}
+	return held
+}
+
+// coreBudgetOK reports whether st's core may put another fast-path buffer
+// in flight: the core's in-use credits must stay below its carved share.
+// Single-core machines (no shares) and the MPQ strawman are unbounded
+// here — the global C_total already gates them.
+func (c *CEIO) coreBudgetOK(st *flowState) bool {
+	q := st.f.QueueIndex()
+	if c.coreShares == nil || q < 0 || q >= len(c.coreShares) {
+		return true
+	}
+	return c.coreInUse(q) < c.coreShares[q]
+}
+
+// recarveCoreShares redistributes C_total across cores proportionally to
+// each core's active-flow population, run from the Q3 active-flow scan. A
+// core that went idle donates its share to the busy ones, exactly as an
+// idle flow's credits are recycled; CoreCreditsMoved counts the credits
+// that changed cores. The carve is a bound, not an assignment — no
+// controller state moves, so conservation is untouched and in-flight
+// packets above a shrunken share simply drain off.
+func (c *CEIO) recarveCoreShares(active map[int]bool) {
+	if c.coreShares == nil {
+		return
+	}
+	weights := make([]int, len(c.coreShares))
+	for id := range active {
+		st := c.flows[id]
+		if st == nil {
+			continue
+		}
+		if q := st.f.QueueIndex(); q >= 0 && q < len(weights) {
+			weights[q]++
+		}
+	}
+	next := carveShares(c.ctrl.Total(), weights)
+	for q, s := range next {
+		if d := s - c.coreShares[q]; d > 0 {
+			c.CoreCreditsMoved += uint64(d)
+		}
+	}
+	c.coreShares = next
+}
+
+// CoreShares returns a copy of the current per-core credit shares (nil on
+// single-core machines). The shares always sum to the controller total.
+func (c *CEIO) CoreShares() []int {
+	if c.coreShares == nil {
+		return nil
+	}
+	out := make([]int, len(c.coreShares))
+	copy(out, c.coreShares)
+	return out
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickCarve generates bounded-but-arbitrary carve inputs for
+// testing/quick: totals up to the realistic C_total range and weight
+// vectors covering empty, all-zero, and skewed populations.
+type quickCarve struct {
+	total   int
+	weights []int
+}
+
+func (quickCarve) Generate(r *rand.Rand, _ int) reflect.Value {
+	qc := quickCarve{total: r.Intn(10000)}
+	n := 1 + r.Intn(16)
+	qc.weights = make([]int, n)
+	for i := range qc.weights {
+		if r.Intn(3) > 0 { // leave ~1/3 of the cores empty
+			qc.weights[i] = r.Intn(40)
+		}
+	}
+	return reflect.ValueOf(qc)
+}
+
+// TestCarveSharesConservesTotal is the credit-conservation property of
+// the per-core carve: for any total and any weight vector the shares
+// sum exactly to the total and are individually non-negative, so moving
+// budget between cores can never mint or destroy credits (Eq. 1's
+// C_total stays the machine-wide bound).
+func TestCarveSharesConservesTotal(t *testing.T) {
+	prop := func(qc quickCarve) bool {
+		shares := carveShares(qc.total, qc.weights)
+		if len(shares) != len(qc.weights) {
+			return false
+		}
+		sum := 0
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == qc.total
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCarveSharesDeterministicAndMonotone pins two more properties:
+// the carve is a pure function of its inputs (re-carving with the same
+// populations must not move credits), and a core with strictly more
+// active flows never falls more than the one round-robin remainder
+// credit below a lighter core's share.
+func TestCarveSharesDeterministicAndMonotone(t *testing.T) {
+	prop := func(qc quickCarve) bool {
+		a := carveShares(qc.total, qc.weights)
+		b := carveShares(qc.total, qc.weights)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		for i, wi := range qc.weights {
+			for j, wj := range qc.weights {
+				if wi > wj && a[i] < a[j]-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCarveSharesEqualWhenUnweighted pins the bootstrap carve used at
+// Attach time (no population information yet): all-zero weights yield an
+// equal split with the remainder spread one credit at a time from core 0.
+func TestCarveSharesEqualWhenUnweighted(t *testing.T) {
+	shares := carveShares(10, make([]int, 4))
+	want := []int{3, 3, 2, 2}
+	if !reflect.DeepEqual(shares, want) {
+		t.Fatalf("carveShares(10, zeros×4) = %v, want %v", shares, want)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"ceio/internal/telemetry"
 )
 
@@ -41,4 +43,23 @@ func (c *CEIO) RegisterMetrics(reg *telemetry.Registry) {
 		func() uint64 { return c.PressureMarks })
 	reg.Gauge("core.ceio.degraded_flows_count", "Flows currently operating in degraded mode.",
 		func() float64 { return float64(c.Degraded()) })
+
+	// Per-core credit shares on a multi-queue machine: the carved slices of
+	// C_total always sum to the total, and inuse derives from the per-flow
+	// InUse ledger, so share vs inuse per core is the Eq. 1 bound applied
+	// at core granularity.
+	if c.coreShares != nil {
+		reg.Counter("core.ceio.core_rejects_total", "Fast-path admissions refused by the core's credit share.",
+			func() uint64 { return c.CoreRejects })
+		reg.Counter("core.ceio.credits.moved_total", "Credits moved between cores by the active-flow scan.",
+			func() uint64 { return c.CoreCreditsMoved })
+		for q := range c.coreShares {
+			q := q
+			lbl := telemetry.L("core", strconv.Itoa(q))
+			reg.Gauge("core.ceio.credits.share_count", "Credits carved out of C_total for the core.",
+				func() float64 { return float64(c.coreShares[q]) }, lbl)
+			reg.Gauge("core.ceio.credits.inuse_count", "The core's fast-path credits currently in flight.",
+				func() float64 { return float64(c.coreInUse(q)) }, lbl)
+		}
+	}
 }

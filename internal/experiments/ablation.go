@@ -166,6 +166,7 @@ func All(cfg Config) []Table {
 		one(SlowPathAblation),
 		one(Burstiness),
 		Tenants,
+		one(Cores),
 	})
 }
 
@@ -196,6 +197,8 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 		return []Table{Burstiness(cfg)}, true
 	case "tenants":
 		return Tenants(cfg), true
+	case "cores":
+		return []Table{Cores(cfg)}, true
 	case "all":
 		return All(cfg), true
 	}
@@ -204,5 +207,5 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 
 // Names lists the experiment identifiers ByName accepts.
 func Names() []string {
-	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "all"}
+	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "cores", "all"}
 }

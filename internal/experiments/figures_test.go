@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"ceio/internal/core"
+	"ceio/internal/iosys"
+	"ceio/internal/workload"
+)
+
+// This file is the paper-figure regression suite: golden numbers pinned
+// from known-good runs of the headline experiments, checked with a
+// tolerance. The simulator is deterministic, so these normally reproduce
+// exactly; the tolerance exists so that harmless refactors (event
+// ordering inside a tick, float summation order) do not trip the suite,
+// while real behavioural regressions — an admission-control bug, a cache
+// model change, a credit leak — still do.
+
+// figTol is the relative tolerance for golden comparisons.
+const figTol = 0.02
+
+// within fails the test when got is outside want±tol (relative; absolute
+// for small want so zero-valued goldens still pin behaviour).
+func within(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	bound := figTol * want
+	if bound < 1e-3 {
+		bound = 1e-3
+	}
+	if diff := got - want; diff < -bound || diff > bound {
+		t.Errorf("%s = %v, want %v ±%v", name, got, want, bound)
+	}
+}
+
+// numCell parses a rendered table cell ("17.8%", "10.24") as a float.
+func numCell(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(cell), "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+// TestGoldenSingleFlowHitRate pins the paper's premise experiment: a
+// single KV flow's in-flight I/O fits inside the DDIO region, so every
+// method serves it entirely from cache (hit rate 1.0), and CEIO's only
+// visible effect is its slightly different delivery cadence.
+func TestGoldenSingleFlowHitRate(t *testing.T) {
+	golden := map[workload.Method]float64{
+		workload.MethodBaseline: 5.04,
+		workload.MethodHostCC:   5.04,
+		workload.MethodShRing:   5.04,
+		workload.MethodCEIO:     5.12,
+	}
+	cfg := microCfg()
+	for _, me := range workload.AllMethods {
+		m := iosys.NewMachine(cfg.Machine, workload.NewDatapath(me))
+		m.AddFlow(workload.ERPCKV(1, 144, workload.DPDK))
+		measureWindow(m, cfg.Warmup, cfg.Measure)
+		within(t, string(me)+" hit rate", 1-m.LLC.MissRate(), 1.0)
+		within(t, string(me)+" Mpps", m.Delivered.Mpps(m.Eng.Now()), golden[me])
+	}
+}
+
+// TestGoldenTenantsCells pins the tenants experiment's headline cells:
+// per scheme, the victim's LLC miss rate and throughput and the
+// antagonist's bandwidth. The dynamic scheme's starved victim (17.8%
+// miss, throughput collapse to ~7.97 Mpps) and its rescue by CEIO
+// credits (back to 0% miss at ~9 Mpps) are the rows the paper's
+// multi-tenant argument rests on.
+func TestGoldenTenantsCells(t *testing.T) {
+	golden := map[string][3]float64{ // scheme -> {victim miss %, victim Mpps, antagonist Gbps}
+		"shared LLC (no partitioning)": {0.0, 10.24, 37.58},
+		"static partitions":            {0.0, 10.24, 37.58},
+		"dynamic repartitioning":       {17.8, 7.97, 37.58},
+		"dynamic + CEIO credits":       {0.0, 9.00, 37.68},
+	}
+	tables := Tenants(microCfg())
+	if len(tables) == 0 {
+		t.Fatal("tenants experiment rendered no tables")
+	}
+	seen := 0
+	for _, row := range tables[0].Rows {
+		want, ok := golden[row[0]]
+		if !ok {
+			t.Fatalf("unexpected tenants scheme %q", row[0])
+		}
+		seen++
+		within(t, row[0]+" victim miss", numCell(t, row[1]), want[0])
+		within(t, row[0]+" victim Mpps", numCell(t, row[2]), want[1])
+		within(t, row[0]+" antagonist Gbps", numCell(t, row[4]), want[2])
+	}
+	if seen != len(golden) {
+		t.Fatalf("tenants table has %d schemes, want %d", seen, len(golden))
+	}
+}
+
+// TestGoldenCreditLimitThroughput pins CEIO under an artificially tight
+// credit budget (C_total = 64 instead of the derived 3072): four KV
+// flows share 16 credits each, admission control throttles them, and
+// the aggregate involved throughput lands at the golden value with the
+// cache still fully hit — throughput is traded, never cache residency.
+func TestGoldenCreditLimitThroughput(t *testing.T) {
+	cfg := microCfg()
+	opts := core.DefaultOptions()
+	opts.TotalCredits = 64
+	m := iosys.NewMachine(cfg.Machine, core.New(opts))
+	for id := 1; id <= 4; id++ {
+		m.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+	}
+	measureWindow(m, cfg.Warmup, cfg.Measure)
+	within(t, "credit-limited Mpps", m.InvolvedMeter.Mpps(m.Eng.Now()), 17.75)
+	within(t, "credit-limited miss rate", m.LLC.MissRate(), 0.0)
+}

@@ -1,0 +1,80 @@
+package flowsteer
+
+import "fmt"
+
+// rssTableSize is the indirection-table length. 128 entries matches the
+// common ConnectX/BlueField default and keeps the bucket math a mask.
+const rssTableSize = 128
+
+// RSS models the NIC's receive-side-scaling dispatch stage: a hash over
+// the flow identity (standing in for the Toeplitz hash over the 5-tuple)
+// indexes a 128-entry indirection table that names the rx queue — and
+// thereby the CPU core — the flow's packets are delivered to. The mapping
+// is a pure function of the flow ID, so all of a flow's packets land on
+// one queue and per-flow ordering survives multi-queue delivery; CEIO's
+// per-core credit carving (Eq. 1 split across cores) keys off the same
+// assignment.
+type RSS struct {
+	queues int
+	table  []int // indirection table: hash bucket -> queue index
+
+	// Statistics.
+	Hashed     uint64   // flows placed by the hash (FlowSpec.Queue == 0)
+	Pinned     uint64   // flows explicitly pinned to a queue
+	Dispatched []uint64 // flows assigned per queue, hashed and pinned
+}
+
+// NewRSS builds a dispatcher over the given queue count with the default
+// round-robin indirection table (bucket i -> queue i mod queues), the
+// reset state of real NICs.
+func NewRSS(queues int) *RSS {
+	if queues <= 0 {
+		panic(fmt.Sprintf("flowsteer: RSS needs a positive queue count, got %d", queues))
+	}
+	r := &RSS{
+		queues:     queues,
+		table:      make([]int, rssTableSize),
+		Dispatched: make([]uint64, queues),
+	}
+	for i := range r.table {
+		r.table[i] = i % queues
+	}
+	return r
+}
+
+// Queues returns the number of rx queues behind the indirection table.
+func (r *RSS) Queues() int { return r.queues }
+
+// Queue returns the queue the hash assigns to flowID, without recording a
+// dispatch. Deterministic: the same flow always maps to the same queue.
+func (r *RSS) Queue(flowID int) int {
+	return r.table[rssHash(uint64(flowID))&(rssTableSize-1)]
+}
+
+// Dispatch places a hash-assigned flow and returns its queue.
+func (r *RSS) Dispatch(flowID int) int {
+	q := r.Queue(flowID)
+	r.Hashed++
+	r.Dispatched[q]++
+	return q
+}
+
+// Pin records an explicit queue assignment (FlowSpec.Queue > 0), the
+// ethtool-style indirection override operators use to isolate a flow.
+func (r *RSS) Pin(queue int) {
+	r.Pinned++
+	r.Dispatched[queue]++
+}
+
+// rssHash is a splitmix64-style finalizer: a cheap, deterministic stand-in
+// for the Toeplitz hash with the same property the model needs — uniform,
+// fixed per flow identity.
+func rssHash(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,115 @@
+package flowsteer
+
+import "testing"
+
+func TestRSSQueueDeterministicAndInRange(t *testing.T) {
+	for _, queues := range []int{1, 2, 4, 8, 11} {
+		r := NewRSS(queues)
+		if r.Queues() != queues {
+			t.Fatalf("Queues() = %d, want %d", r.Queues(), queues)
+		}
+		for id := 0; id < 4096; id++ {
+			q := r.Queue(id)
+			if q < 0 || q >= queues {
+				t.Fatalf("queues=%d: Queue(%d) = %d out of range", queues, id, q)
+			}
+			if again := r.Queue(id); again != q {
+				t.Fatalf("queues=%d: Queue(%d) not deterministic: %d then %d", queues, id, q, again)
+			}
+		}
+	}
+}
+
+func TestRSSSpreadsFlows(t *testing.T) {
+	// With many flows and the default round-robin indirection table every
+	// queue must receive some, or the "multi" in multi-queue is broken.
+	r := NewRSS(8)
+	for id := 0; id < 1024; id++ {
+		r.Dispatch(id)
+	}
+	if r.Hashed != 1024 {
+		t.Fatalf("Hashed = %d, want 1024", r.Hashed)
+	}
+	var total uint64
+	for q, n := range r.Dispatched {
+		if n == 0 {
+			t.Errorf("queue %d received no flows out of 1024", q)
+		}
+		total += n
+	}
+	if total != 1024 {
+		t.Fatalf("dispatch counters sum to %d, want 1024", total)
+	}
+}
+
+func TestRSSPinCounts(t *testing.T) {
+	r := NewRSS(4)
+	r.Pin(3)
+	r.Pin(3)
+	if r.Pinned != 2 || r.Dispatched[3] != 2 {
+		t.Fatalf("Pinned=%d Dispatched[3]=%d, want 2 and 2", r.Pinned, r.Dispatched[3])
+	}
+}
+
+func TestRSSRejectsNonPositiveQueues(t *testing.T) {
+	for _, queues := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRSS(%d) did not panic", queues)
+				}
+			}()
+			NewRSS(queues)
+		}()
+	}
+}
+
+// FuzzRSSDispatch drives the dispatch stage with arbitrary flow-ID streams
+// and checks the properties multi-queue delivery depends on: every packet
+// of a flow lands on the same queue, every queue index is in range, and no
+// packet is lost or duplicated across queues.
+func FuzzRSSDispatch(f *testing.F) {
+	f.Add(uint8(0), []byte{1, 2, 3, 1, 2, 3})
+	f.Add(uint8(7), []byte{0})
+	f.Add(uint8(3), []byte{9, 9, 9, 9, 200, 9})
+	f.Fuzz(func(t *testing.T, nq uint8, ids []byte) {
+		queues := int(nq)%8 + 1
+		r := NewRSS(queues)
+		type pkt struct {
+			flow int
+			seq  int
+		}
+		perQueue := make([][]pkt, queues)
+		assigned := map[int]int{} // flow -> first observed queue
+		seq := map[int]int{}      // flow -> packets emitted so far
+		for _, b := range ids {
+			fid := int(b)
+			q := r.Dispatch(fid)
+			if q < 0 || q >= queues {
+				t.Fatalf("Dispatch(%d) = %d out of range [0,%d)", fid, q, queues)
+			}
+			if first, ok := assigned[fid]; ok && first != q {
+				t.Fatalf("flow %d split across queues %d and %d", fid, first, q)
+			}
+			assigned[fid] = q
+			perQueue[q] = append(perQueue[q], pkt{flow: fid, seq: seq[fid]})
+			seq[fid]++
+		}
+		// Conservation: every packet appears on exactly one queue.
+		total := 0
+		next := map[int]int{}
+		for q, pkts := range perQueue {
+			for _, p := range pkts {
+				total++
+				// Per-flow order within the queue matches emission order.
+				if p.seq != next[p.flow] {
+					t.Fatalf("queue %d: flow %d packet seq %d arrived, want %d", q, p.flow, p.seq, next[p.flow])
+				}
+				next[p.flow]++
+			}
+		}
+		if total != len(ids) {
+			t.Fatalf("%d packets across queues, emitted %d (lost or duplicated)", total, len(ids))
+		}
+	})
+}

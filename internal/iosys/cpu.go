@@ -1,17 +1,27 @@
 package iosys
 
 import (
+	"ceio/internal/pkt"
 	"ceio/internal/sim"
 )
 
-// Core models one CPU core dedicated to a CPU-involved flow (the paper
-// pins one core per I/O flow, §2.3). It runs a DPDK-style polling loop:
-// ask the datapath driver for a batch, spend the modelled CPU time, hand
-// the packets to the application, repeat. An empty poll retries after the
+// Core models one CPU core running a DPDK-style polling loop: ask the
+// datapath driver for a batch, spend the modelled CPU time, hand the
+// packets to the application, repeat. An empty poll retries after the
 // configured poll interval.
+//
+// In the legacy layout (Config.Cores == 0) each core is dedicated to one
+// CPU-involved flow (the paper pins one core per I/O flow, §2.3). With
+// Config.Cores > 0 a core instead drains one rx queue, round-robining the
+// CPU-involved flows RSS hashed onto it; all cores share the LLC/DDIO
+// region, memory controller, and PCIe link through the common Machine
+// models, so they contend exactly where real cores do.
 type Core struct {
-	m    *Machine
-	flow *Flow
+	m     *Machine
+	queue int // rx queue index, -1 for a legacy per-flow core
+
+	flows  []*Flow // flows this core drains (len 1 in the legacy layout)
+	cursor int     // round-robin position into flows
 
 	running    bool
 	idleStreak int
@@ -29,7 +39,44 @@ type Core struct {
 const maxIdleBackoff = 128
 
 func newCore(m *Machine, f *Flow) *Core {
-	return &Core{m: m, flow: f}
+	return &Core{m: m, queue: -1, flows: []*Flow{f}}
+}
+
+func newQueueCore(m *Machine, queue int) *Core {
+	return &Core{m: m, queue: queue}
+}
+
+// Queue returns the rx queue this core drains, -1 for a legacy per-flow
+// core.
+func (c *Core) Queue() int { return c.queue }
+
+// FlowCount returns the number of flows currently assigned to this core.
+func (c *Core) FlowCount() int { return len(c.flows) }
+
+// addFlow hands a flow to this core's poll loop, starting the loop if the
+// core was idle with no flows.
+func (c *Core) addFlow(f *Flow) {
+	c.flows = append(c.flows, f)
+	c.start()
+}
+
+// removeFlow detaches a flow; the core parks (stops polling) once its
+// last flow leaves.
+func (c *Core) removeFlow(id int) {
+	for i, f := range c.flows {
+		if f.ID == id {
+			c.flows = append(c.flows[:i], c.flows[i+1:]...)
+			if c.cursor > i {
+				c.cursor--
+			}
+			break
+		}
+	}
+	if len(c.flows) == 0 {
+		c.stop()
+	} else if c.cursor >= len(c.flows) {
+		c.cursor = 0
+	}
 }
 
 func (c *Core) start() {
@@ -37,17 +84,31 @@ func (c *Core) start() {
 		return
 	}
 	c.running = true
+	c.idleStreak = 0
 	c.m.Eng.After(0, c.loop)
 }
 
 func (c *Core) stop() { c.running = false }
 
 func (c *Core) loop() {
-	if !c.running {
+	if !c.running || len(c.flows) == 0 {
 		return
 	}
 	c.Polls++
-	batch := c.m.DP.Poll(c.flow, c.m.Cfg.BatchSize)
+	// Round-robin service: starting at the cursor, the first flow with a
+	// non-empty batch wins the poll. With a single flow this is exactly
+	// the legacy dedicated-core loop, event for event.
+	var batch []*pkt.Packet
+	var flow *Flow
+	n := len(c.flows)
+	for i := 0; i < n; i++ {
+		cand := c.flows[(c.cursor+i)%n]
+		if b := c.m.DP.Poll(cand, c.m.Cfg.BatchSize); len(b) > 0 {
+			batch, flow = b, cand
+			c.cursor = (c.cursor + i + 1) % n
+			break
+		}
+	}
 	if len(batch) == 0 {
 		c.EmptyPolls++
 		// Exponential back-off while idle: a busy core re-polls at the
@@ -65,7 +126,7 @@ func (c *Core) loop() {
 	c.idleStreak = 0
 	var total sim.Time
 	for _, p := range batch {
-		total += c.m.PacketCPUCost(c.flow, p)
+		total += c.m.PacketCPUCost(flow, p)
 	}
 	// Injected per-core stall (IRQ storm, co-tenant preemption): the batch
 	// takes longer, backpressuring the ring and, transitively, the wire.
@@ -77,7 +138,7 @@ func (c *Core) loop() {
 		c.BusyTime += total
 		for _, p := range batch {
 			c.Processed++
-			c.m.Deliver(c.flow, p)
+			c.m.Deliver(flow, p)
 		}
 		c.loop()
 	})

@@ -71,6 +71,11 @@ type FlowSpec struct {
 	// with Config.Tenancy. Empty means untenanted traffic (shared pool);
 	// a non-empty tag must match a registered tenant ID.
 	Tenant string
+	// Queue selects the rx queue on a machine configured with
+	// Config.Cores > 0: 0 lets the RSS hash place the flow, 1..Cores pins
+	// it to queue Queue-1 (ethtool-style indirection override). Non-zero
+	// values are an error on a single-core (Cores == 0) machine.
+	Queue int
 }
 
 // Flow is the runtime state of one network flow.
@@ -89,6 +94,9 @@ type Flow struct {
 	// buffers DMA into (0 on untenanted machines).
 	tenantIdx int
 	part      int
+	// queue is the rx queue RSS (or an explicit pin) resolved at AddFlow;
+	// -1 on legacy single-core machines.
+	queue int
 
 	// Window accounting: bytes in flight (emitted, not yet delivered or
 	// dropped) and whether the generator is parked waiting for window.
@@ -119,6 +127,10 @@ func (f *Flow) TenantIndex() int { return f.tenantIdx }
 
 // Partition returns the LLC partition this flow's buffers DMA into.
 func (f *Flow) Partition() int { return f.part }
+
+// QueueIndex returns the rx queue this flow was dispatched to, -1 on
+// legacy single-core (Config.Cores == 0) machines.
+func (f *Flow) QueueIndex() int { return f.queue }
 
 // DeliveredSeq is the highest sequence number handed to the application
 // plus one (i.e., count of in-order deliveries); maintained by Machine.

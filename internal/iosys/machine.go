@@ -75,6 +75,12 @@ type Machine struct {
 	Flows map[int]*Flow
 	cores map[int]*Core
 
+	// Multi-queue rx path, non-nil when Config.Cores > 0: RSS hashes flows
+	// onto len(queues) rx queues and each queue core drains its own flows
+	// while sharing the LLC/DDIO region, memory controller, and PCIe link.
+	RSS    *flowsteer.RSS
+	queues []*Core
+
 	nextBuf  cache.BufID
 	bufBytes map[cache.BufID]int32
 
@@ -160,6 +166,14 @@ func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
 		bufBytes: make(map[cache.BufID]int32),
 	}
 	m.DMA = pcie.NewEngine(eng, m.ToHost, m.ToNIC, m.IIO, cfg.DMACredits)
+	if cfg.Cores > 0 {
+		m.RSS = flowsteer.NewRSS(cfg.Cores)
+		m.queues = make([]*Core, cfg.Cores)
+		for q := range m.queues {
+			m.queues[q] = newQueueCore(m, q)
+		}
+		m.LLC.EnableQueueStats(cfg.Cores)
+	}
 	if cfg.HostBuffers > 0 {
 		m.HostPool = bufpool.New(cfg.HostBuffers, cfg.IOBufSize)
 	}
@@ -291,7 +305,21 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	} else if spec.Tenant != "" {
 		return nil, fmt.Errorf("iosys: adding flow %d: tenant %q tagged but machine has no tenancy configured", spec.ID, spec.Tenant)
 	}
-	f := &Flow{FlowSpec: spec, m: m, active: true, tenantIdx: tenantIdx, part: part}
+	queue := -1
+	if m.RSS != nil {
+		switch {
+		case spec.Queue < 0 || spec.Queue > m.Cfg.Cores:
+			return nil, fmt.Errorf("iosys: adding flow %d: queue %d out of range [0,%d]", spec.ID, spec.Queue, m.Cfg.Cores)
+		case spec.Queue > 0:
+			queue = spec.Queue - 1
+			m.RSS.Pin(queue)
+		default:
+			queue = m.RSS.Dispatch(spec.ID)
+		}
+	} else if spec.Queue != 0 {
+		return nil, fmt.Errorf("iosys: adding flow %d: queue %d requested but machine has no multi-queue rx path (Cores == 0)", spec.ID, spec.Queue)
+	}
+	f := &Flow{FlowSpec: spec, m: m, active: true, tenantIdx: tenantIdx, part: part, queue: queue}
 	ccCfg := m.Cfg.CC
 	if spec.FixedRate {
 		// UD-style traffic: the sender holds its rate regardless of
@@ -306,9 +334,13 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	}
 	m.DP.FlowAdded(f)
 	if f.Kind == CPUInvolved {
-		c := newCore(m, f)
-		m.cores[f.ID] = c
-		c.start()
+		if m.RSS != nil {
+			m.queues[f.queue].addFlow(f)
+		} else {
+			c := newCore(m, f)
+			m.cores[f.ID] = c
+			c.start()
+		}
 	}
 	m.scheduleNextPacket(f)
 	return f, nil
@@ -348,6 +380,9 @@ func (m *Machine) RemoveFlow(id int) {
 		c.stop()
 		delete(m.cores, id)
 	}
+	if m.RSS != nil && f.Kind == CPUInvolved {
+		m.queues[f.queue].removeFlow(id)
+	}
 	m.DP.FlowRemoved(f)
 	if m.Tenants != nil {
 		m.Tenants.FlowRemoved(f.tenantIdx)
@@ -355,8 +390,23 @@ func (m *Machine) RemoveFlow(id int) {
 	delete(m.Flows, id)
 }
 
-// Core returns the CPU core dedicated to flow id, or nil.
-func (m *Machine) Core(id int) *Core { return m.cores[id] }
+// Core returns the CPU core serving flow id, or nil: the dedicated core
+// in the legacy layout, the flow's queue core on a multi-queue machine.
+func (m *Machine) Core(id int) *Core {
+	if c, ok := m.cores[id]; ok {
+		return c
+	}
+	if m.RSS != nil {
+		if f, ok := m.Flows[id]; ok && f.Kind == CPUInvolved {
+			return m.queues[f.queue]
+		}
+	}
+	return nil
+}
+
+// QueueCores returns the per-queue cores of a multi-queue machine (nil on
+// legacy Cores == 0 machines).
+func (m *Machine) QueueCores() []*Core { return m.queues }
 
 // scheduleNextPacket paces the flow generator at its current CC rate,
 // subject to the congestion window: a sender never has more than
@@ -596,6 +646,7 @@ func (m *Machine) PacketCPUCost(f *Flow, p *pkt.Packet) sim.Time {
 		c += m.Cfg.LLCHitLatency
 	} else {
 		hit := m.LLC.ConsumeIn(p.Part, p.Buf)
+		m.LLC.AccountQueue(f.queue, hit)
 		if m.Tenants != nil {
 			m.Tenants.Account(f.tenantIdx, hit)
 		}

@@ -23,7 +23,10 @@ type Sampler struct {
 	lastT      sim.Time
 }
 
-// NewSampler starts sampling every interval on the machine's engine.
+// NewSampler starts sampling every interval on the machine's engine. A
+// non-positive interval yields a disabled sampler: no ticks are scheduled
+// and the series stay empty (callers pass 0 to mean "no sampling" rather
+// than guarding the constructor).
 func NewSampler(m *Machine, interval sim.Time) *Sampler {
 	s := &Sampler{m: m, lastT: m.Eng.Now()}
 	s.InvolvedMpps.Name = "involved-mpps"
@@ -32,6 +35,10 @@ func NewSampler(m *Machine, interval sim.Time) *Sampler {
 	s.lastPkts = m.InvolvedMeter.Packets
 	s.lastBytes = m.Delivered.Bytes
 	s.lastHits, s.lastMisses = m.LLC.Hits, m.LLC.Misses
+	if interval <= 0 {
+		s.cancel = func() {}
+		return s
+	}
 	s.cancel = m.Eng.Every(interval, interval, s.sample)
 	return s
 }

@@ -1,6 +1,8 @@
 package iosys
 
 import (
+	"strconv"
+
 	"ceio/internal/telemetry"
 )
 
@@ -156,5 +158,37 @@ func (m *Machine) registerMetrics() {
 			func() float64 { return float64(m.Tenants.SharedWays()) })
 		reg.Counter("tenant.ways_moved_total", "Way reassignments performed by the dynamic controller.",
 			func() uint64 { return m.Tenants.WaysMoved })
+	}
+
+	// Multi-queue rx path: RSS dispatch counters plus one series set per
+	// rx-queue core, labelled core="<queue index>". The per-core LLC split
+	// is consume-side attribution — which core paid for each read — so
+	// cross-core cache contention is visible per core, not just in the
+	// machine aggregate.
+	if m.RSS != nil {
+		reg.Counter("iosys.rss.hashed_flows_total", "Flows placed onto rx queues by the RSS hash.",
+			func() uint64 { return m.RSS.Hashed })
+		reg.Counter("iosys.rss.pinned_flows_total", "Flows explicitly pinned to an rx queue (FlowSpec.Queue).",
+			func() uint64 { return m.RSS.Pinned })
+		for q, c := range m.queues {
+			q, c := q, c
+			lbl := telemetry.L("core", strconv.Itoa(q))
+			reg.Counter("iosys.core.polls_total", "Poll-loop iterations run by the core.",
+				func() uint64 { return c.Polls }, lbl)
+			reg.Counter("iosys.core.empty_polls_total", "Poll-loop iterations that found no packets.",
+				func() uint64 { return c.EmptyPolls }, lbl)
+			reg.Counter("iosys.core.processed_total", "Packets processed by the core.",
+				func() uint64 { return c.Processed }, lbl)
+			reg.Gauge("iosys.core.busy_ratio", "Fraction of wall time the core spent processing packets.",
+				func() float64 { return c.Utilization(m.Eng.Now()) }, lbl)
+			reg.Gauge("iosys.core.flows.active_count", "CPU-involved flows currently assigned to the core.",
+				func() float64 { return float64(c.FlowCount()) }, lbl)
+			reg.Counter("cache.llc.core.hits_total", "LLC lookups by this core's flows served from the cache.",
+				func() uint64 { return llc.QueueStats(q).Hits }, lbl)
+			reg.Counter("cache.llc.core.misses_total", "LLC lookups by this core's flows that fell through to DRAM.",
+				func() uint64 { return llc.QueueStats(q).Misses }, lbl)
+			reg.Gauge("cache.llc.core.miss_ratio", "The core's window LLC miss ratio.",
+				func() float64 { return llc.QueueStats(q).MissRate() }, lbl)
+		}
 	}
 }

@@ -47,6 +47,9 @@ type FlowSpec struct {
 	// milliseconds (0 start = beginning; 0 stop = whole run).
 	StartMs float64 `json:"start_ms,omitempty"`
 	StopMs  float64 `json:"stop_ms,omitempty"`
+	// Queue pins the flow to an rx queue on a multi-core scenario
+	// (requires "cores"): 0 lets the RSS hash place it, 1..cores pins it.
+	Queue int `json:"queue,omitempty"`
 }
 
 // Spec is a complete scenario.
@@ -56,9 +59,12 @@ type Spec struct {
 	// Seed selects the deterministic RNG stream (default 1).
 	Seed int64 `json:"seed,omitempty"`
 	// DurationMs is the measured window; WarmupMs precedes it.
-	DurationMs float64    `json:"duration_ms"`
-	WarmupMs   float64    `json:"warmup_ms,omitempty"`
-	Flows      []FlowSpec `json:"flows"`
+	DurationMs float64 `json:"duration_ms"`
+	WarmupMs   float64 `json:"warmup_ms,omitempty"`
+	// Cores selects the multi-queue CPU model: 0 = legacy one core per
+	// flow, N >= 1 = N cores behind an RSS dispatch stage.
+	Cores int        `json:"cores,omitempty"`
+	Flows []FlowSpec `json:"flows"`
 }
 
 // FlowResult reports one flow's measured behaviour.
@@ -110,6 +116,9 @@ func (s *Spec) Validate() error {
 	if s.DurationMs <= 0 {
 		return fmt.Errorf("scenario: duration_ms must be positive")
 	}
+	if s.Cores < 0 {
+		return fmt.Errorf("scenario: cores must be non-negative, got %d", s.Cores)
+	}
 	if len(s.Flows) == 0 {
 		return fmt.Errorf("scenario: no flows")
 	}
@@ -124,6 +133,9 @@ func (s *Spec) Validate() error {
 		}
 		if f.StopMs != 0 && f.StopMs <= f.StartMs {
 			return fmt.Errorf("scenario: flow %d stops before it starts", f.ID)
+		}
+		if f.Queue < 0 || f.Queue > s.Cores {
+			return fmt.Errorf("scenario: flow %d queue %d out of range [0,%d]", f.ID, f.Queue, s.Cores)
 		}
 	}
 	return nil
@@ -153,6 +165,7 @@ func buildSpec(f FlowSpec) (iosys.FlowSpec, error) {
 		spec.InitialRate = f.RateGbps * 1e9 / 8
 	}
 	spec.FixedRate = f.FixedRate
+	spec.Queue = f.Queue
 	return spec, nil
 }
 
@@ -172,6 +185,7 @@ func (s *Spec) RunInstrumented(setup func(*iosys.Machine)) (*Result, error) {
 	if s.Seed != 0 {
 		cfg.Seed = s.Seed
 	}
+	cfg.Cores = s.Cores
 	m := iosys.NewMachine(cfg, workload.NewDatapath(workload.Method(s.Arch)))
 	if setup != nil {
 		setup(m)

@@ -45,6 +45,15 @@ func allRegistries(t *testing.T) []*ceio.MetricsRegistry {
 		}
 		regs = append(regs, s.Metrics())
 	}
+	// A multi-queue CEIO machine: the RSS dispatch, per-core, and
+	// per-core credit-share series only register when Cores > 0.
+	cfg := ceio.DefaultConfig()
+	cfg.Cores = 2
+	s, err := ceio.NewSimulatorE(cfg, ceio.ArchCEIO)
+	if err != nil {
+		t.Fatalf("multi-queue CEIO: %v", err)
+	}
+	regs = append(regs, s.Metrics())
 	return regs
 }
 
