@@ -112,6 +112,15 @@ func BenchmarkBurstSensitivity(b *testing.B) {
 	benchTables(b, func(c experiments.Config) int { return len(experiments.Burstiness(c).Rows) })
 }
 
+// BenchmarkFleetFailover runs the rack-scale failover experiment on a
+// 4-host rack (host 0 killed mid-window, balancer migrates and audits).
+func BenchmarkFleetFailover(b *testing.B) {
+	benchTables(b, func(c experiments.Config) int {
+		c.FleetHosts = 4
+		return len(experiments.Fleet(c).Rows)
+	})
+}
+
 // --- Simulator throughput benchmarks ------------------------------------
 
 // BenchmarkSimulatedPacketRate measures how many simulated packets per

@@ -308,6 +308,135 @@ func TestChaosDeterministicReplay(t *testing.T) {
 	}
 }
 
+// The combined storm on a multi-queue machine (Config.Cores > 0): RSS
+// dispatch, per-core polling, and CEIO's per-core credit carve must all
+// survive the same fault cocktail as the single-queue storm. The auditor
+// checks on every sweep that the per-core credit shares still sum to
+// Algorithm 1's C_total — recarves triggered mid-storm (flow churn moves
+// flows between queues) must conserve the pool.
+func TestChaosCores(t *testing.T) {
+	cfg := ceio.DefaultConfig()
+	cfg.Seed = 18
+	cfg.Cores = 4
+	opts := ceio.DefaultCEIOOptions()
+	opts.TotalCredits = 256
+	opts.ReclaimPeriod = 250 * ceio.Microsecond
+	plan := ceio.FaultPlan{
+		Seed:                   909,
+		WireDropRate:           0.01,
+		CreditLossRate:         0.03,
+		SteerFailRate:          0.3,
+		SteerDelayNs:           5_000,
+		ReadLossRate:           0.05,
+		DMAStall:               ceio.FaultEpisode{PeriodNs: 500_000, DurationNs: 40_000},
+		NICMemPressure:         ceio.FaultEpisode{PeriodNs: 700_000, DurationNs: 200_000, PhaseNs: 100_000},
+		NICMemPressureFraction: 0.5,
+		CPUStall:               ceio.FaultEpisode{PeriodNs: 350_000, DurationNs: 25_000},
+		CPUStallNs:             4_000,
+	}
+	s, ij, a := chaosSim(t, cfg, opts, plan)
+	id := 1
+	for q := 1; q <= cfg.Cores; q++ {
+		for k := 0; k < 2; k++ {
+			f := ceio.KVFlow(id, 512)
+			f.Queue = q
+			s.AddFlow(f)
+			id++
+		}
+	}
+	// Churn mid-storm so credit shares recarve under faults.
+	s.At(3*ceio.Millisecond, func() { s.RemoveFlow(2) })
+	s.At(5*ceio.Millisecond, func() {
+		f := ceio.KVFlow(20, 256)
+		f.Queue = 1
+		s.AddFlow(f)
+	})
+	s.RunFor(12 * ceio.Millisecond)
+	sn := s.Snapshot()
+	if sn.DeliveredPkts == 0 {
+		t.Fatal("storm wedged the multi-queue datapath")
+	}
+	if len(sn.Cores) != cfg.Cores {
+		t.Fatalf("snapshot has %d cores, want %d", len(sn.Cores), cfg.Cores)
+	}
+	shares := 0
+	for _, c := range sn.Cores {
+		shares += c.CreditShare
+	}
+	if shares != opts.TotalCredits {
+		t.Fatalf("per-core credit shares sum to %d, want C_total=%d", shares, opts.TotalCredits)
+	}
+	if ij.Stats.CreditLosses == 0 || ij.Stats.CPUStalls == 0 {
+		t.Fatalf("fault plan never fired: %+v", ij.Stats)
+	}
+	// Quiesce before the final audit so the release gap can close.
+	for _, fid := range []int{1, 3, 4, 5, 6, 7, 8, 20} {
+		s.PauseFlow(fid)
+	}
+	s.RunFor(3 * ceio.Millisecond)
+	a.Final()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rack-scale chaos: a 4-host CEIO fleet where host 0 crashes mid-run
+// while its machines also suffer wire loss and credit-release loss. The
+// balancer must detect the crash, migrate every victim flow to a
+// survivor through the credit-replaying handshake, rebalance after
+// recovery — and both the per-host and fleet-level invariant auditors
+// must come back clean.
+func TestChaosFleetFailover(t *testing.T) {
+	fc := ceio.DefaultFleetConfig(4, ceio.ArchCEIO)
+	fc.Machine.Seed = 19
+	fc.ProbePeriod = 20 * ceio.Microsecond
+	fc.DrainDeadline = 500 * ceio.Microsecond
+	fc.MigrationRTT = 2 * ceio.Microsecond
+	storm := ceio.FaultPlan{
+		Seed:           1010,
+		WireDropRate:   0.01,
+		CreditLossRate: 0.02,
+	}
+	withCrash := storm
+	withCrash.HostCrash = ceio.OneShotFault(2*ceio.Millisecond, 1*ceio.Millisecond)
+	// Host 0 crashes; every host suffers the wire/credit storm.
+	fc.Plans = []ceio.FaultPlan{withCrash, storm, storm, storm}
+	f, err := ceio.NewFleetE(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 12; id++ {
+		if id%3 == 0 {
+			f.AddFlow(ceio.FileTransferFlow(id, 1024, 256))
+		} else {
+			f.AddFlow(ceio.KVFlow(id, 512))
+		}
+	}
+	audit := f.AttachAuditors(50 * ceio.Microsecond)
+	f.RunFor(6 * ceio.Millisecond)
+	if f.Stats.Deaths == 0 {
+		t.Fatal("balancer never declared the crashed host dead")
+	}
+	if f.Stats.Migrations == 0 {
+		t.Fatal("no victim flow migrated to a survivor")
+	}
+	if f.Stats.Revivals == 0 {
+		t.Fatal("balancer never revived the recovered host")
+	}
+	for id := 1; id <= 12; id++ {
+		if h := f.HostOf(id); h < 0 {
+			t.Fatalf("flow %d unplaced at end of run", id)
+		}
+	}
+	// Quiesce rack-wide so reconciliation closes every release gap.
+	f.Quiesce()
+	f.RunFor(2 * ceio.Millisecond)
+	audit.Final()
+	if err := audit.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Chaos on a tenanted machine: NIC memory pressure plus CPU stalls while
 // the dynamic repartitioner migrates LLC ways between tenants. The
 // auditor's tenant-partition rule checks on every sweep that waymasks

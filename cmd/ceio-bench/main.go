@@ -7,10 +7,16 @@
 //	ceio-bench -list
 //	ceio-bench -quick -sample-every 1ms -timeline-out tenants.csv tenants
 //	ceio-bench -http :8080 -metrics-out bench.prom
+//	ceio-bench -quick -faults examples/scenarios/chaos-storm.json fig9
+//	ceio-bench -quick -hosts 4 -kill-at 5ms fleet
 //
 // With no arguments it runs every experiment ("all"). Experiment names
 // follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
-// table4, limits, ablation, burst, tenants.
+// table4, limits, ablation, burst, tenants, cores, fleet.
+//
+// -faults arms a deterministic fault plan on every machine the
+// experiments build; -hosts and -kill-at narrow the fleet experiment's
+// rack sweep and kill schedule.
 //
 // Every simulation run is an independent single-threaded engine, so
 // -parallel N fans runs (sweep points, whole experiments, and -seeds
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"ceio/internal/experiments"
+	"ceio/internal/faults"
 	"ceio/internal/runner"
 	"ceio/internal/sim"
 	"ceio/internal/telemetry"
@@ -75,6 +82,9 @@ func main() {
 	cores := flag.Int("cores", 0, "base machine CPU cores behind an RSS dispatch stage (0 = legacy one core per flow; the cores experiment sweeps its own counts)")
 	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for independent runs (1 = serial)")
 	seeds := flag.Int("seeds", 1, "seed replicas per measurement: scalars report min/mean/max, latency histograms merge")
+	faultsPath := flag.String("faults", "", "JSON fault plan armed on every experiment machine: measure the tables under deterministic chaos")
+	hosts := flag.Int("hosts", 0, "restrict the fleet experiment to one rack size instead of the 4/8/16 sweep")
+	killAt := flag.Duration("kill-at", 0, "override the fleet experiment's host-0 crash time (simulated, absolute; 0 = a quarter into the window)")
 	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated sampling interval for tenants timeline tables (0 = off)")
 	timelineOut := flag.String("timeline-out", "", "write tenants timeline tables as CSV to this file instead of stdout (needs -sample-every)")
@@ -103,6 +113,29 @@ func main() {
 	cfg.Machine.Cores = *cores
 	cfg.Seeds = *seeds
 	cfg.SampleEvery = sim.Time(sampleEvery.Nanoseconds())
+	if *hosts < 0 {
+		fmt.Fprintf(os.Stderr, "ceio-bench: -hosts must be >= 0, got %d\n", *hosts)
+		os.Exit(2)
+	}
+	cfg.FleetHosts = *hosts
+	cfg.FleetKillAt = sim.Time(killAt.Nanoseconds())
+	if *faultsPath != "" {
+		f, err := os.Open(*faultsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-bench: %v\n", err)
+			os.Exit(2)
+		}
+		plan, err := faults.LoadPlan(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-bench: %v\n", err)
+			os.Exit(2)
+		}
+		// Every machine an experiment builds inherits the plan through
+		// Machine.FaultPlan, so the rendered tables measure the paper's
+		// comparisons under the same deterministic chaos.
+		cfg.Machine.FaultPlan = &plan
+	}
 	if *tenantLayout != "" {
 		specs, err := tenant.ParseSpecs(*tenantLayout)
 		if err != nil {

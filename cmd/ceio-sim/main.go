@@ -57,6 +57,8 @@ func main() {
 	warm := flag.Duration("warmup", 5*time.Millisecond, "warm-up excluded from metrics")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	cores := flag.Int("cores", 0, "CPU cores behind an RSS dispatch stage (0 = legacy one core per flow)")
+	hosts := flag.Int("hosts", 0, "run a rack of N hosts behind the failover balancer instead of one machine (0 = single machine; flow counts become per-host)")
+	killAt := flag.Duration("kill-at", 0, "with -hosts: crash host 0 at this simulated time for a quarter of -dur (0 = no kill)")
 	traceN := flag.Int("trace", 0, "dump the last N per-packet datapath events")
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
@@ -94,6 +96,18 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ceio-sim: unknown architecture %q\n", *arch)
 		os.Exit(2)
+	}
+	if *hosts < 0 {
+		fmt.Fprintf(os.Stderr, "ceio-sim: -hosts must be >= 0, got %d\n", *hosts)
+		os.Exit(2)
+	}
+	if *hosts > 0 {
+		if *faultsPath != "" || *tenants != "" {
+			fmt.Fprintln(os.Stderr, "ceio-sim: -hosts composes with -kill-at, not -faults or -tenants")
+			os.Exit(2)
+		}
+		runFleet(*hosts, *arch, *kv, *dfs, *echo, *pkt, *dur, *warm, *killAt, *seed, *cores, &exp)
+		return
 	}
 	cfg := ceio.DefaultConfig()
 	cfg.Seed = *seed
@@ -181,6 +195,64 @@ func main() {
 		tracer.Dump(os.Stdout)
 	}
 	exp.export(sim.Metrics(), sampler, sim.Machine().Tracer)
+}
+
+// runFleet drives the rack mode: N hosts on one shared engine behind the
+// failover balancer, the flag-built flow mix replicated per host of
+// capacity, and — when -kill-at is set — a one-shot host-crash episode on
+// host 0 lasting a quarter of -dur. The run prints the rack report and
+// the combined per-host + fleet invariant-auditor verdict.
+func runFleet(hosts int, arch string, kv, dfs, echo, pktSize int, dur, warm, killAt time.Duration, seed int64, cores int, exp *exporter) {
+	fc := ceio.DefaultFleetConfig(hosts, ceio.Architecture(arch))
+	fc.Machine.Seed = seed
+	fc.Machine.Cores = cores
+	if killAt > 0 {
+		fc.Plans = []ceio.FaultPlan{{
+			HostCrash: ceio.OneShotFault(ceio.Duration(killAt.Nanoseconds()), ceio.Duration(dur.Nanoseconds()/4)),
+		}}
+	}
+	f, err := ceio.NewFleetE(fc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+		os.Exit(2)
+	}
+	id := 1
+	for h := 0; h < hosts; h++ {
+		for i := 0; i < kv; i++ {
+			f.AddFlow(ceio.KVFlow(id, pktSize))
+			id++
+		}
+		for i := 0; i < dfs; i++ {
+			f.AddFlow(ceio.FileTransferFlow(id, pktSize, 0))
+			id++
+		}
+		for i := 0; i < echo; i++ {
+			size := pktSize
+			if size == 0 {
+				size = 512
+			}
+			f.AddFlow(ceio.EchoFlow(id, size))
+			id++
+		}
+	}
+	if id == 1 {
+		fmt.Fprintln(os.Stderr, "ceio-sim: no flows requested")
+		os.Exit(2)
+	}
+	audit := f.AttachAuditors(0)
+	f.RunFor(ceio.Duration(warm.Nanoseconds()))
+	f.ResetWindow()
+	f.RunFor(ceio.Duration(dur.Nanoseconds()))
+	f.WriteReport(os.Stdout)
+	audit.Final()
+	if err := audit.Err(); err != nil {
+		fmt.Printf("  AUDIT FAILED:\n%v\n", err)
+	} else {
+		fmt.Printf("  audit: clean (%d fleet sweeps, 0 violations)\n", audit.Fleet.Checks)
+	}
+	if exp.metricsOut != "" {
+		writeFile(exp.metricsOut, func(w io.Writer) error { return telemetry.WritePrometheus(w, f.Reg) })
+	}
 }
 
 // exporter writes the telemetry artifacts a run asked for.

@@ -32,6 +32,10 @@ type Auditor = invariants.Auditor
 // Violation is one structured invariant breach recorded by the Auditor.
 type Violation = invariants.Violation
 
+// OneShotFault returns an episode with a single window [at, at+duration)
+// — the shape fleet kill schedules use for FaultPlan.HostCrash.
+func OneShotFault(at, duration Duration) FaultEpisode { return faults.OneShot(at, duration) }
+
 // LoadFaultPlan parses a JSON fault plan (see FaultPlan's field tags).
 // Unknown fields are rejected, so a typo cannot silently disable a fault.
 func LoadFaultPlan(r io.Reader) (FaultPlan, error) { return faults.LoadPlan(r) }

@@ -1,0 +1,52 @@
+package ceio
+
+import (
+	"ceio/internal/fleet"
+	"ceio/internal/invariants"
+	"ceio/internal/workload"
+)
+
+// Rack-scale façade over internal/fleet: N full simulated hosts behind a
+// deterministic L4 balancer with rendezvous-hash flow placement, health
+// probes, host-crash failover, and credit-replaying flow migration.
+
+// FleetConfig describes a rack of simulated hosts behind the balancer;
+// start from DefaultFleetConfig.
+type FleetConfig = fleet.Config
+
+// Fleet is a rack under one shared deterministic engine; construct with
+// NewFleet or NewFleetE.
+type Fleet = fleet.Fleet
+
+// FleetHost is one rack member (machine plus balancer health view).
+type FleetHost = fleet.Host
+
+// FleetStats counts balancer events (probes, deaths, migrations, ...).
+type FleetStats = fleet.Stats
+
+// FleetAudit bundles a rack's per-host auditors with the fleet-level
+// auditor; obtain one from Fleet.AttachAuditors.
+type FleetAudit = fleet.Audit
+
+// FleetAuditor sweeps the cross-host invariants (no flow double-placed,
+// fleet credit conservation, no flow lost past its drain deadline).
+type FleetAuditor = invariants.FleetAuditor
+
+// DefaultFleetConfig returns a runnable rack of the given size with
+// every host running arch over the paper-calibrated machine.
+func DefaultFleetConfig(hosts int, arch Architecture) FleetConfig {
+	return fleet.DefaultConfig(hosts, workload.Method(arch))
+}
+
+// NewFleet builds the rack and starts the balancer's probe ticker.
+// Invalid configurations panic; see NewFleetE.
+func NewFleet(cfg FleetConfig) *Fleet {
+	f, err := NewFleetE(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewFleetE is NewFleet with invalid configurations reported as errors.
+func NewFleetE(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }

@@ -926,6 +926,19 @@ func (c *CEIO) reconcileCredits() {
 	}
 }
 
+// ReconcileNow runs one credit-reconciliation pass immediately, outside
+// the periodic heartbeat. The fleet migration handshake calls it on a
+// crashed host before reclaiming the victim's flow state: any release
+// messages lost in transit are replayed through the same ReclaimInUse
+// path the heartbeat uses, so the credits a migrating flow hands back to
+// the pool are exactly the credits Algorithm 1 granted it. No-op for the
+// MPQ strawman, which has no per-flow ledger to reconcile.
+func (c *CEIO) ReconcileNow() {
+	if c.opt.MPQ == nil {
+		c.reconcileCredits()
+	}
+}
+
 // maybeResumeFast re-enables the fast path once the slow path has fully
 // drained and the flow holds credits again (the phase-exclusivity rule of
 // §4.2 that keeps the SW ring ordered).

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // Per-core credit shares: on a multi-queue machine (Config.Cores > 0) the
 // Eq. 1 budget C_total is carved into one share per rx-queue core, the
 // same way a partitioned machine carves it per tenant. A core whose flows
@@ -106,6 +108,28 @@ func (c *CEIO) recarveCoreShares(active map[int]bool) {
 		}
 	}
 	c.coreShares = next
+}
+
+// AuditCoreShares verifies the per-core carve invariant at runtime: every
+// share is non-negative and the shares sum exactly to Algorithm 1's
+// C_total, through every recarve a fault storm can trigger. Nil on
+// single-core machines (nothing is carved). The invariants auditor calls
+// this from its periodic sweep.
+func (c *CEIO) AuditCoreShares() error {
+	if c.coreShares == nil {
+		return nil
+	}
+	sum := 0
+	for q, s := range c.coreShares {
+		if s < 0 {
+			return fmt.Errorf("core: core %d has negative credit share %d", q, s)
+		}
+		sum += s
+	}
+	if total := c.ctrl.Total(); sum != total {
+		return fmt.Errorf("core: per-core credit shares sum to %d, want C_total=%d", sum, total)
+	}
+	return nil
 }
 
 // CoreShares returns a copy of the current per-core credit shares (nil on

@@ -63,6 +63,16 @@ type Config struct {
 	// starting way allocation (the bench -tenants flag).
 	TenantLayout []tenant.Spec
 
+	// FleetHosts, when positive, restricts the fleet experiment to a
+	// single rack size instead of the 4/8/16 sweep (the -hosts flag).
+	FleetHosts int
+
+	// FleetKillAt, when positive, overrides the absolute simulated time
+	// at which the fleet experiment's host_crash episode takes host 0
+	// down (the -kill-at flag). Zero keeps the default: a quarter into
+	// the measurement window.
+	FleetKillAt sim.Time
+
 	// SampleEvery, when positive, attaches a telemetry sampler to the
 	// tenants experiment's measurement cells and appends per-scheme
 	// timeline tables (occupancy, ways, miss ratio over simulated time).

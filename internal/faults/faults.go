@@ -102,6 +102,31 @@ func (e Episode) EndAt(t sim.Time) sim.Time {
 	return sim.Time(start + e.DurationNs)
 }
 
+// NextStart returns the start of the first fault window at or after t, or
+// 0 when the episode never fires. It is the scheduling dual of ActiveAt:
+// the fleet balancer walks crash windows with it instead of polling.
+func (e Episode) NextStart(t sim.Time) sim.Time {
+	if !e.Enabled() {
+		return 0
+	}
+	if int64(t) <= e.PhaseNs {
+		return sim.Time(e.PhaseNs)
+	}
+	rem := (int64(t) - e.PhaseNs) % e.PeriodNs
+	if rem < e.DurationNs {
+		// t is inside a window; that window's start is the answer.
+		return sim.Time(int64(t) - rem)
+	}
+	return sim.Time(int64(t) - rem + e.PeriodNs)
+}
+
+// OneShot builds an episode covering exactly [at, at+duration): a single
+// fault window whose period is pushed past any plausible run length, the
+// idiom for "kill this host once at t and revive it at t+d".
+func OneShot(at, duration sim.Time) Episode {
+	return Episode{PhaseNs: int64(at), DurationNs: int64(duration), PeriodNs: 1 << 62}
+}
+
 // Plan declares the fault processes for one simulation run. The zero
 // value injects nothing. Rates are per-event Bernoulli probabilities in
 // [0, 1]; episodes are periodic windows on the simulated clock. Plans are
@@ -144,6 +169,15 @@ type Plan struct {
 	// during the window (IRQ storms, co-scheduled tenants, SMIs).
 	CPUStall   Episode `json:"cpu_stall,omitempty"`
 	CPUStallNs int64   `json:"cpu_stall_ns,omitempty"`
+
+	// HostCrash takes the whole host down for the episode window: the
+	// machine stops generating and probes go unanswered, so a fleet
+	// balancer declares it dead and migrates its flows to survivors; the
+	// window's end is the host-recover edge. Single-machine runs ignore
+	// it (a crashed host with nobody to fail over to is just the end of
+	// the simulation); internal/fleet schedules the crash/recover edges
+	// from this episode and notes them via NoteHostCrash/NoteHostRecover.
+	HostCrash Episode `json:"host_crash,omitempty"`
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -152,7 +186,8 @@ func (p Plan) Enabled() bool {
 		p.SteerFailRate > 0 || p.SteerDelayNs > 0 || p.ReadLossRate > 0 ||
 		p.DMAStall.Enabled() ||
 		(p.NICMemPressure.Enabled() && p.NICMemPressureFraction > 0) ||
-		(p.CPUStall.Enabled() && p.CPUStallNs > 0)
+		(p.CPUStall.Enabled() && p.CPUStallNs > 0) ||
+		p.HostCrash.Enabled()
 }
 
 // Validate reports structurally invalid plans.
@@ -187,6 +222,7 @@ func (p Plan) Validate() error {
 		{p.DMAStall, "dma_stall"},
 		{p.NICMemPressure, "nic_mem_pressure"},
 		{p.CPUStall, "cpu_stall"},
+		{p.HostCrash, "host_crash"},
 	} {
 		if err := ep.e.Validate(ep.what); err != nil {
 			return err
@@ -229,11 +265,13 @@ type Stats struct {
 	ReadLosses   uint64
 	DMAStalls    uint64
 	CPUStalls    uint64
+	HostCrashes  uint64
+	HostRecovers uint64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("wire-drop=%d wire-corrupt=%d credit-loss=%d steer-fail=%d steer-delay=%d read-loss=%d dma-stall=%d cpu-stall=%d",
-		s.WireDrops, s.WireCorrupts, s.CreditLosses, s.SteerFails, s.SteerDelays, s.ReadLosses, s.DMAStalls, s.CPUStalls)
+	return fmt.Sprintf("wire-drop=%d wire-corrupt=%d credit-loss=%d steer-fail=%d steer-delay=%d read-loss=%d dma-stall=%d cpu-stall=%d host-crash=%d host-recover=%d",
+		s.WireDrops, s.WireCorrupts, s.CreditLosses, s.SteerFails, s.SteerDelays, s.ReadLosses, s.DMAStalls, s.CPUStalls, s.HostCrashes, s.HostRecovers)
 }
 
 // Injector samples the fault processes of one Plan. All hook methods are
@@ -363,4 +401,28 @@ func (ij *Injector) CPUStall(now sim.Time) sim.Time {
 	}
 	ij.Stats.CPUStalls++
 	return sim.Time(ij.plan.CPUStallNs)
+}
+
+// HostCrash returns the plan's host-crash episode (zero when the plan
+// never crashes the host). The fleet balancer owns the crash/recover
+// scheduling; the injector only declares the windows and counts edges.
+func (ij *Injector) HostCrash() Episode {
+	if ij == nil {
+		return Episode{}
+	}
+	return ij.plan.HostCrash
+}
+
+// NoteHostCrash counts one fired host-crash edge.
+func (ij *Injector) NoteHostCrash() {
+	if ij != nil {
+		ij.Stats.HostCrashes++
+	}
+}
+
+// NoteHostRecover counts one fired host-recover edge.
+func (ij *Injector) NoteHostRecover() {
+	if ij != nil {
+		ij.Stats.HostRecovers++
+	}
 }

@@ -24,4 +24,8 @@ func (ij *Injector) RegisterMetrics(reg *telemetry.Registry) {
 		"DMA operations deferred by injected stall episodes.", func() uint64 { return ij.Stats.DMAStalls })
 	reg.Counter("faults.injected.cpu_stalls_total",
 		"Poll batches slowed by injected CPU-stall episodes.", func() uint64 { return ij.Stats.CPUStalls })
+	reg.Counter("faults.injected.host_crashes_total",
+		"Host-crash edges fired from the plan's host_crash episode.", func() uint64 { return ij.Stats.HostCrashes })
+	reg.Counter("faults.injected.host_recovers_total",
+		"Host-recover edges fired at host_crash window ends.", func() uint64 { return ij.Stats.HostRecovers })
 }

@@ -1,0 +1,595 @@
+// Package fleet assembles a rack of simulated CEIO hosts behind a
+// deterministic L4 load balancer: N full iosys.Machine stacks share one
+// sim.Engine, flows are placed by rendezvous (highest-random-weight)
+// consistent hashing, and periodic health probes drive failover — when a
+// per-host fault plan's host_crash episode fires, the balancer detects
+// the missed heartbeats, drains the dead host's flows, and re-steers
+// them to survivors with a bounded-backoff migration handshake that
+// replays unacknowledged credit state through core.CEIO's
+// reconciliation path, then rebalances when the host returns. This is
+// the rack-scale "last mile" the CEIO paper (§7) and RDCA leave open:
+// per-host cache-aware admission is only production-credible if the
+// NIC-CPU path stays stable when a host dies mid-window, not just when
+// packets are lost.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ceio/internal/core"
+	"ceio/internal/faults"
+	"ceio/internal/invariants"
+	"ceio/internal/iosys"
+	"ceio/internal/sim"
+	"ceio/internal/stats"
+	"ceio/internal/telemetry"
+	"ceio/internal/workload"
+)
+
+// Config describes a rack. The zero value is not runnable; start from
+// DefaultConfig.
+type Config struct {
+	// Hosts is the rack size.
+	Hosts int
+	// Machine is the per-host configuration (every host runs the same
+	// hardware model; Machine.FaultPlan, when set, arms the same chaos
+	// plan on every host unless Plans overrides it).
+	Machine iosys.Config
+	// Method is the I/O architecture every host runs.
+	Method workload.Method
+
+	// ProbePeriod is the balancer's health-probe interval.
+	ProbePeriod sim.Time
+	// ProbeMiss consecutive missed probes declare a host dead.
+	ProbeMiss int
+	// ProbeRise consecutive answered probes revive a declared-dead host.
+	ProbeRise int
+	// DrainDeadline bounds how long a dead host's flow may remain
+	// unplaced before the flow-lost-after-drain invariant flags it.
+	DrainDeadline sim.Time
+	// MigrationRTT is the one-way control-plane latency of the migration
+	// handshake (drain notice, credit replay, re-steer commit).
+	MigrationRTT sim.Time
+	// RetryBase is the bounded-backoff base for failed migration
+	// attempts (attempt k waits RetryBase << k-1).
+	RetryBase sim.Time
+	// RetryLimit caps migration attempts per flow; past it the flow is
+	// stranded until a host revival rescues it.
+	RetryLimit int
+
+	// Plans are per-host fault plans (Plans[i] arms host i). A shorter
+	// slice leaves the remaining hosts fault-free; a zero-valued entry
+	// keeps Machine.FaultPlan for that host.
+	Plans []faults.Plan
+}
+
+// DefaultConfig returns a runnable rack configuration of the given size
+// and architecture over the paper-calibrated machine.
+func DefaultConfig(hosts int, method workload.Method) Config {
+	return Config{
+		Hosts:         hosts,
+		Machine:       iosys.DefaultConfig(),
+		Method:        method,
+		ProbePeriod:   100 * sim.Microsecond,
+		ProbeMiss:     3,
+		ProbeRise:     2,
+		DrainDeadline: sim.Millisecond,
+		MigrationRTT:  2 * sim.Microsecond,
+		RetryBase:     20 * sim.Microsecond,
+		RetryLimit:    6,
+	}
+}
+
+// Validate reports structurally invalid rack configurations.
+func (c Config) Validate() error {
+	checks := []struct {
+		ok   bool
+		what string
+	}{
+		{c.Hosts >= 1, "Hosts >= 1"},
+		{c.ProbePeriod > 0, "ProbePeriod > 0"},
+		{c.ProbeMiss >= 1, "ProbeMiss >= 1"},
+		{c.ProbeRise >= 1, "ProbeRise >= 1"},
+		{c.DrainDeadline > 0, "DrainDeadline > 0"},
+		{c.MigrationRTT >= 0, "MigrationRTT >= 0"},
+		{c.RetryBase > 0, "RetryBase > 0"},
+		{c.RetryLimit >= 0, "RetryLimit >= 0"},
+		{len(c.Plans) <= c.Hosts, "len(Plans) <= Hosts"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return fmt.Errorf("fleet: invalid config: %s", ch.what)
+		}
+	}
+	return nil
+}
+
+// Host is one rack member: a full simulated machine plus the balancer's
+// health bookkeeping about it.
+type Host struct {
+	Index int
+	M     *iosys.Machine
+	Inj   *faults.Injector // nil when the host runs fault-free
+
+	// down is ground truth: the host_crash episode window is open.
+	down bool
+	// live is the balancer's view; it lags down by the probe detection
+	// time in both directions.
+	live      bool
+	missed    int
+	good      int
+	crashedAt sim.Time
+}
+
+// Down reports ground truth: the host's crash window is open.
+func (h *Host) Down() bool { return h.down }
+
+// Live reports the balancer's view of the host.
+func (h *Host) Live() bool { return h.live }
+
+// placement is the balancer's record of one flow.
+type placement struct {
+	spec      iosys.FlowSpec
+	host      int
+	migrating bool
+	rebalance bool // graceful move back to a revived home, not failover
+	deadline  sim.Time
+	attempts  int
+	epoch     uint64 // stale retry guard across re-declarations
+}
+
+// Stats counts balancer events over the run.
+type Stats struct {
+	Crashes, Recovers        uint64 // ground-truth episode edges
+	ProbesSent, ProbesMissed uint64
+	Deaths, Revivals         uint64 // balancer declarations
+	Migrations               uint64 // failover re-steers completed
+	MigrationRetries         uint64
+	Rebalances               uint64 // graceful moves back after revival
+	Stranded                 uint64 // retry budgets exhausted (rescuable)
+}
+
+// Fleet is the rack: hosts, balancer state, and fleet-level telemetry.
+// Construct with New; all methods must run on the shared engine's
+// goroutine (the simulation is single-threaded, like every machine).
+type Fleet struct {
+	Cfg Config
+	Eng *sim.Engine
+
+	hosts     []*Host
+	placement map[int]*placement
+	order     []int // flow IDs in AddFlow order
+	expected  []int // per-host C_total captured at construction
+
+	// Stats counts balancer events; read-only for observers.
+	Stats Stats
+	// TTR records crash-to-re-steered time per failover-migrated flow.
+	TTR stats.Histogram
+
+	// Reg is the fleet-level telemetry registry (fleet.* series); every
+	// host keeps its own machine registry at HostMachine(i).Reg.
+	Reg *telemetry.Registry
+}
+
+// New builds the rack on one shared engine and starts the balancer's
+// probe ticker. Hosts are constructed in index order, so construction
+// order — and therefore every event seed — is deterministic.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		Cfg:       cfg,
+		Eng:       sim.NewEngine(cfg.Machine.Seed),
+		placement: make(map[int]*placement),
+		expected:  make([]int, cfg.Hosts),
+	}
+	for i := 0; i < cfg.Hosts; i++ {
+		mcfg := cfg.Machine
+		if i < len(cfg.Plans) && (cfg.Plans[i] != faults.Plan{}) {
+			plan := cfg.Plans[i]
+			mcfg.FaultPlan = &plan
+		}
+		m, err := iosys.NewMachineOnEngine(f.Eng, mcfg, workload.NewDatapath(cfg.Method))
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building host %d: %w", i, err)
+		}
+		h := &Host{Index: i, M: m, Inj: m.Faults, live: true}
+		if dp, ok := m.DP.(*core.CEIO); ok {
+			f.expected[i] = dp.Controller().Total()
+		}
+		f.hosts = append(f.hosts, h)
+		if ep := h.Inj.HostCrash(); ep.Enabled() {
+			f.scheduleCrash(h, ep)
+		}
+	}
+	f.registerMetrics()
+	f.Eng.Every(cfg.ProbePeriod, cfg.ProbePeriod, f.probeAll)
+	return f, nil
+}
+
+// scheduleCrash arms the next crash edge of h's host_crash episode.
+func (f *Fleet) scheduleCrash(h *Host, ep faults.Episode) {
+	at := ep.NextStart(f.Eng.Now())
+	f.Eng.At(at, func() { f.crashHost(h, ep) })
+}
+
+// crashHost fires a host-crash edge: the host stops generating (its
+// flows pause; in-flight DMA drains, as a real NIC's posted writes do)
+// and probes to it start missing. The matching recover edge is scheduled
+// at the episode window's end.
+func (f *Fleet) crashHost(h *Host, ep faults.Episode) {
+	if h.down {
+		return
+	}
+	h.down = true
+	h.crashedAt = f.Eng.Now()
+	h.Inj.NoteHostCrash()
+	f.Stats.Crashes++
+	for _, id := range f.flowsOn(h.Index) {
+		h.M.PauseFlow(id)
+	}
+	end := ep.EndAt(f.Eng.Now())
+	f.Eng.At(end, func() { f.recoverHost(h, ep) })
+}
+
+// recoverHost fires the host-recover edge and arms the episode's next
+// crash window, if any falls within a plausible run.
+func (f *Fleet) recoverHost(h *Host, ep faults.Episode) {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.Inj.NoteHostRecover()
+	f.Stats.Recovers++
+	// Flows still placed here (a blip shorter than the detection time, or
+	// arrivals steered in while the window was open) resume generating;
+	// flows already mid-migration stay with their handshake.
+	for _, id := range f.flowsOn(h.Index) {
+		h.M.ResumeFlow(id)
+	}
+	f.scheduleCrash(h, ep)
+}
+
+// probeAll is the balancer's health sweep: one probe per host per tick,
+// in index order. A down host misses; ProbeMiss consecutive misses
+// declare it dead, ProbeRise consecutive answers revive it.
+func (f *Fleet) probeAll() {
+	for _, h := range f.hosts {
+		f.Stats.ProbesSent++
+		if h.down {
+			f.Stats.ProbesMissed++
+			h.good = 0
+			h.missed++
+			if h.live && h.missed >= f.Cfg.ProbeMiss {
+				f.declareDead(h)
+			}
+			continue
+		}
+		h.missed = 0
+		if h.live {
+			continue
+		}
+		h.good++
+		if h.good >= f.Cfg.ProbeRise {
+			f.declareLive(h)
+		}
+	}
+}
+
+// declareDead marks h dead in the balancer's view and starts draining
+// its flows: each gets a drain deadline and a migration handshake
+// scheduled one control RTT out.
+func (f *Fleet) declareDead(h *Host) {
+	h.live = false
+	f.Stats.Deaths++
+	now := f.Eng.Now()
+	for _, id := range f.flowsOn(h.Index) {
+		p := f.placement[id]
+		p.migrating = true
+		p.rebalance = false
+		p.deadline = now + f.Cfg.DrainDeadline
+		f.armMigration(id, p)
+	}
+}
+
+// declareLive revives h in the balancer's view: stranded migrations are
+// rescued (a survivor exists again) and flows whose rendezvous home is
+// the revived host move back gracefully.
+func (f *Fleet) declareLive(h *Host) {
+	h.live = true
+	h.good, h.missed = 0, 0
+	f.Stats.Revivals++
+	now := f.Eng.Now()
+	for _, id := range f.sortedFlowIDs() {
+		p := f.placement[id]
+		switch {
+		case p.migrating:
+			// Stranded or still retrying: restart the handshake against
+			// the enlarged survivor set. The original deadline stands —
+			// rescue does not forgive a blown drain bound.
+			f.armMigration(id, p)
+		case p.host != h.Index && f.pickHost(id) == h:
+			p.migrating = true
+			p.rebalance = true
+			p.deadline = now + f.Cfg.DrainDeadline
+			f.armMigration(id, p)
+		}
+	}
+}
+
+// armMigration schedules the next migration attempt for id one control
+// RTT out, invalidating any older scheduled attempt via the epoch.
+func (f *Fleet) armMigration(id int, p *placement) {
+	p.attempts = 0
+	p.epoch++
+	epoch := p.epoch
+	f.Eng.After(f.Cfg.MigrationRTT, func() { f.tryMigrate(id, epoch) })
+}
+
+// tryMigrate runs one bounded-backoff migration handshake attempt: pick
+// a survivor by rendezvous hash, replay the victim's unacknowledged
+// credit state through the reconciliation path, tear the flow down on
+// the victim, and re-establish it on the target. Failure (no live host)
+// retries with exponential backoff up to RetryLimit.
+func (f *Fleet) tryMigrate(id int, epoch uint64) {
+	p := f.placement[id]
+	if p == nil || !p.migrating || p.epoch != epoch {
+		return
+	}
+	target := f.pickHost(id)
+	victim := f.hosts[p.host]
+	if target == nil {
+		// No live host anywhere: back off and retry.
+		f.retryMigrate(id, p)
+		return
+	}
+	if target.Index == p.host {
+		// The rendezvous home is the victim itself, revived before the
+		// flow ever left: resume in place instead of moving.
+		victim.M.ResumeFlow(id)
+		p.migrating = false
+		if !p.rebalance && victim.crashedAt > 0 {
+			f.TTR.Record(int64(f.Eng.Now() - victim.crashedAt))
+		}
+		return
+	}
+	// Handshake step 1 — credit replay: any release messages the dying
+	// host never delivered are pushed through the PR 1 reconciliation
+	// path, so the teardown below returns exactly the credits Algorithm
+	// 1 granted and fleet credit conservation holds across the move.
+	if dp, ok := victim.M.DP.(*core.CEIO); ok {
+		dp.ReconcileNow()
+	}
+	// Handshake step 2 — drain: tear the flow down on the victim.
+	// In-flight packets surrender their buffers through the normal
+	// teardown accounting (the invariants auditor keeps watching).
+	victim.M.RemoveFlow(id)
+	// Handshake step 3 — re-steer: establish the same spec on the target.
+	if _, err := target.M.AddFlowE(p.spec); err != nil {
+		f.retryMigrate(id, p)
+		return
+	}
+	if target.down {
+		// The balancer picked a host it believes is live but whose crash
+		// window just opened: traffic blackholes until probes notice.
+		target.M.PauseFlow(id)
+	}
+	p.host = target.Index
+	p.migrating = false
+	if p.rebalance {
+		f.Stats.Rebalances++
+		return
+	}
+	f.Stats.Migrations++
+	if victim.crashedAt > 0 {
+		f.TTR.Record(int64(f.Eng.Now() - victim.crashedAt))
+	}
+}
+
+// retryMigrate backs off exponentially; past RetryLimit the flow stays
+// stranded (flagged by the drain-deadline invariant) until a revival
+// rescues it.
+func (f *Fleet) retryMigrate(id int, p *placement) {
+	p.attempts++
+	f.Stats.MigrationRetries++
+	if p.attempts > f.Cfg.RetryLimit {
+		f.Stats.Stranded++
+		return
+	}
+	backoff := f.Cfg.RetryBase << (p.attempts - 1)
+	epoch := p.epoch
+	f.Eng.After(backoff, func() { f.tryMigrate(id, epoch) })
+}
+
+// rendezvousWeight is the highest-random-weight score of (flow, host):
+// a splitmix64-style finalizer over the pair, so placement is a pure
+// deterministic function with minimal movement when the host set changes.
+func rendezvousWeight(flow, host uint64) uint64 {
+	x := flow*0x9e3779b97f4a7c15 + (host+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pickHost returns the live host with the highest rendezvous weight for
+// the flow (ties break to the lower index), or nil when no host is live.
+func (f *Fleet) pickHost(flowID int) *Host {
+	var best *Host
+	var bestW uint64
+	for _, h := range f.hosts {
+		if !h.live {
+			continue
+		}
+		if w := rendezvousWeight(uint64(flowID), uint64(h.Index)); best == nil || w > bestW {
+			best, bestW = h, w
+		}
+	}
+	return best
+}
+
+// AddFlowE places a flow on its rendezvous-chosen host and records the
+// placement. Errors: duplicate flow ID in the rack, no live host, or a
+// spec the host rejects.
+func (f *Fleet) AddFlowE(spec iosys.FlowSpec) error {
+	if _, dup := f.placement[spec.ID]; dup {
+		return fmt.Errorf("fleet: adding flow: duplicate flow id %d", spec.ID)
+	}
+	h := f.pickHost(spec.ID)
+	if h == nil {
+		return errors.New("fleet: adding flow: no live host")
+	}
+	if _, err := h.M.AddFlowE(spec); err != nil {
+		return fmt.Errorf("fleet: adding flow on host %d: %w", h.Index, err)
+	}
+	if h.down {
+		h.M.PauseFlow(spec.ID)
+	}
+	f.placement[spec.ID] = &placement{spec: spec, host: h.Index}
+	f.order = append(f.order, spec.ID)
+	return nil
+}
+
+// AddFlow is AddFlowE with the setup-time panic convention of
+// iosys.Machine.AddFlow.
+func (f *Fleet) AddFlow(spec iosys.FlowSpec) {
+	if err := f.AddFlowE(spec); err != nil {
+		panic(err)
+	}
+}
+
+// flowsOn returns the sorted IDs of non-migrating flows the balancer has
+// placed on host h.
+func (f *Fleet) flowsOn(h int) []int {
+	var ids []int
+	for _, id := range f.sortedFlowIDs() {
+		if p := f.placement[id]; !p.migrating && p.host == h {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// sortedFlowIDs returns every placed flow ID in ascending order.
+func (f *Fleet) sortedFlowIDs() []int {
+	ids := append([]int(nil), f.order...)
+	sort.Ints(ids)
+	return ids
+}
+
+// HostOf returns the index of the host currently holding flow id, or -1
+// when the flow is unknown or mid-migration.
+func (f *Fleet) HostOf(id int) int {
+	p := f.placement[id]
+	if p == nil || p.migrating {
+		return -1
+	}
+	return p.host
+}
+
+// Quiesce pauses every settled flow's generator rack-wide, so in-flight
+// work and reconciliation can drain before a final audit (the same
+// end-of-run discipline as single-machine chaos runs).
+func (f *Fleet) Quiesce() {
+	for _, id := range f.sortedFlowIDs() {
+		if p := f.placement[id]; !p.migrating {
+			f.hosts[p.host].M.PauseFlow(id)
+		}
+	}
+}
+
+// RunFor advances the shared engine by d.
+func (f *Fleet) RunFor(d sim.Time) { f.Eng.RunUntil(f.Eng.Now() + d) }
+
+// Now returns the rack's simulated clock.
+func (f *Fleet) Now() sim.Time { return f.Eng.Now() }
+
+// ResetWindow restarts every host's measurement window and the fleet's
+// time-to-recover histogram (warm-up exclusion, as on a single machine).
+func (f *Fleet) ResetWindow() {
+	for _, h := range f.hosts {
+		h.M.ResetWindow()
+	}
+	f.TTR.Reset()
+}
+
+// FleetView implementation (the invariants.FleetAuditor's window).
+
+// HostCount returns the rack size.
+func (f *Fleet) HostCount() int { return len(f.hosts) }
+
+// HostMachine returns host i's machine.
+func (f *Fleet) HostMachine(i int) *iosys.Machine { return f.hosts[i].M }
+
+// Host returns host i (balancer view included).
+func (f *Fleet) Host(i int) *Host { return f.hosts[i] }
+
+// HostLive reports the balancer's view of host i.
+func (f *Fleet) HostLive(i int) bool { return f.hosts[i].live }
+
+// PlacedFlowIDs returns the sorted flow IDs placed on host i.
+func (f *Fleet) PlacedFlowIDs(i int) []int { return f.flowsOn(i) }
+
+// OverdueMigrations returns the sorted IDs of flows still unplaced past
+// their drain deadline at time now.
+func (f *Fleet) OverdueMigrations(now sim.Time) []int {
+	var ids []int
+	for _, id := range f.sortedFlowIDs() {
+		if p := f.placement[id]; p.migrating && now > p.deadline {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// ExpectedHostCredits returns the C_total host i's controller was built
+// with (0 on creditless datapaths).
+func (f *Fleet) ExpectedHostCredits(i int) int { return f.expected[i] }
+
+// Audit bundles the per-host invariant auditors and the fleet-level
+// auditor of one rack.
+type Audit struct {
+	Hosts []*invariants.Auditor
+	Fleet *invariants.FleetAuditor
+}
+
+// AttachAuditors arms a per-host auditor on every machine plus the
+// fleet-level auditor on the shared engine, all sweeping every period.
+func (f *Fleet) AttachAuditors(period sim.Time) *Audit {
+	a := &Audit{Fleet: invariants.AttachFleet(f.Eng, f, period)}
+	for _, h := range f.hosts {
+		a.Hosts = append(a.Hosts, invariants.Attach(h.M, period))
+	}
+	return a
+}
+
+// Final runs the end-of-run checks on every auditor.
+func (a *Audit) Final() {
+	for _, h := range a.Hosts {
+		h.Final()
+	}
+	a.Fleet.Final()
+}
+
+// Count sums violations across all auditors.
+func (a *Audit) Count() uint64 {
+	n := a.Fleet.Count()
+	for _, h := range a.Hosts {
+		n += h.Count()
+	}
+	return n
+}
+
+// Err joins the auditors' verdicts (nil when every invariant held).
+func (a *Audit) Err() error {
+	errs := []error{a.Fleet.Err()}
+	for _, h := range a.Hosts {
+		errs = append(errs, h.Err())
+	}
+	return errors.Join(errs...)
+}

@@ -134,6 +134,11 @@ func (a *Auditor) sweep() {
 		if err := a.dp.AuditElastic(); err != nil {
 			a.record("elastic-bytes", err.Error())
 		}
+		// Multi-queue carve: per-core credit shares must sum to Algorithm
+		// 1's C_total through every recarve a fault storm triggers.
+		if err := a.dp.AuditCoreShares(); err != nil {
+			a.record("core-shares", err.Error())
+		}
 		if rv := a.dp.RingViolations(); rv != a.lastRingViolations {
 			a.record("ring-protocol",
 				fmt.Sprintf("%d new SW-ring protocol violations", rv-a.lastRingViolations))
@@ -171,13 +176,19 @@ func (a *Auditor) Err() error {
 	if a.total == 0 {
 		return nil
 	}
+	return violationsErr("invariants", a.total, a.violations)
+}
+
+// violationsErr renders a violation summary error (shared by the
+// per-machine and fleet auditors).
+func violationsErr(what string, total uint64, retained []Violation) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "invariants: %d violation(s)", a.total)
-	for _, v := range a.violations {
+	fmt.Fprintf(&b, "%s: %d violation(s)", what, total)
+	for _, v := range retained {
 		fmt.Fprintf(&b, "\n  %s", v)
 	}
-	if a.total > uint64(len(a.violations)) {
-		fmt.Fprintf(&b, "\n  ... and %d more", a.total-uint64(len(a.violations)))
+	if total > uint64(len(retained)) {
+		fmt.Fprintf(&b, "\n  ... and %d more", total-uint64(len(retained)))
 	}
 	return fmt.Errorf("%s", b.String())
 }

@@ -9,6 +9,7 @@ package iosys
 import (
 	"fmt"
 
+	"ceio/internal/faults"
 	"ceio/internal/pcie"
 	"ceio/internal/sim"
 	"ceio/internal/tenant"
@@ -78,6 +79,14 @@ type Config struct {
 	// repartitioning controller on the machine's clock. Nil means the
 	// pre-tenancy single-region model, byte for byte.
 	Tenancy *tenant.Config
+
+	// FaultPlan, when non-nil, arms deterministic fault injection at
+	// machine construction (equivalent to SetFaults with an injector
+	// built from the plan). Carrying the plan in the config lets whole
+	// experiment sweeps — every machine of every cell, including fleet
+	// hosts — run under one chaos plan without threading an injector
+	// through each builder (the ceio-bench -faults flag).
+	FaultPlan *faults.Plan
 }
 
 // DefaultConfig returns the paper-calibrated parameter set.
@@ -151,6 +160,11 @@ func (c Config) Validate() error {
 	}
 	if c.Tenancy != nil {
 		if err := c.Tenancy.Validate(c.LLCBytes); err != nil {
+			return fmt.Errorf("iosys: invalid config: %w", err)
+		}
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(); err != nil {
 			return fmt.Errorf("iosys: invalid config: %w", err)
 		}
 	}

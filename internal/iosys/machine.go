@@ -144,10 +144,18 @@ func NewMachine(cfg Config, dp Datapath) *Machine {
 // NewMachineE builds a machine and attaches the datapath, reporting an
 // invalid configuration as an error instead of panicking.
 func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
+	return NewMachineOnEngine(sim.NewEngine(cfg.Seed), cfg, dp)
+}
+
+// NewMachineOnEngine builds a machine on an existing engine instead of a
+// private one. A multi-host rack (internal/fleet) places every host on
+// one shared engine so cross-host event ordering — probes, crashes,
+// migrations — is a deterministic function of the simulated clock, not
+// of which host's private engine happened to run first.
+func NewMachineOnEngine(eng *sim.Engine, cfg Config, dp Datapath) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("iosys: building machine: %w", err)
 	}
-	eng := sim.NewEngine(cfg.Seed)
 	m := &Machine{
 		Eng:      eng,
 		Cfg:      cfg,
@@ -196,6 +204,13 @@ func NewMachineE(cfg Config, dp Datapath) (*Machine, error) {
 	m.registerMetrics()
 	if ms, ok := dp.(MetricSource); ok {
 		ms.RegisterMetrics(m.Reg)
+	}
+	if cfg.FaultPlan != nil {
+		ij, err := faults.NewInjector(*cfg.FaultPlan)
+		if err != nil {
+			return nil, fmt.Errorf("iosys: building machine: %w", err)
+		}
+		m.SetFaults(ij)
 	}
 	return m, nil
 }

@@ -54,6 +54,15 @@ func allRegistries(t *testing.T) []*ceio.MetricsRegistry {
 		t.Fatalf("multi-queue CEIO: %v", err)
 	}
 	regs = append(regs, s.Metrics())
+	// A rack behind the failover balancer: the fleet.* series live in the
+	// fleet-level registry, not any single host's.
+	fcfg := ceio.DefaultFleetConfig(2, ceio.ArchCEIO)
+	fcfg.Plans = []ceio.FaultPlan{{HostCrash: ceio.OneShotFault(ceio.Millisecond, ceio.Millisecond)}}
+	fl, err := ceio.NewFleetE(fcfg)
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	regs = append(regs, fl.Reg)
 	return regs
 }
 
