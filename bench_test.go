@@ -12,6 +12,7 @@ import (
 	"ceio/internal/cache"
 	"ceio/internal/core"
 	"ceio/internal/experiments"
+	"ceio/internal/fleet"
 	"ceio/internal/pkt"
 	"ceio/internal/ring"
 	"ceio/internal/sim"
@@ -142,6 +143,37 @@ func BenchmarkSimulatedPacketRate(b *testing.B) {
 	b.ReportMetric(float64(delivered)/float64(b.N), "pkts/op")
 }
 
+// BenchmarkFleetEventThroughput measures raw event-dispatch throughput
+// (engine events per wall-clock second) on the 16-host rack scenario with
+// 3 flows per host — the schedule-heavy macro workload ROADMAP item 1
+// names as the scale ceiling. Reported as Mevents/sec so BENCH_engine.json
+// can track the heap→wheel trajectory directly.
+func BenchmarkFleetEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	f, err := fleet.New(fleet.DefaultConfig(16, workload.MethodCEIO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := 1
+	for h := 0; h < 16; h++ {
+		f.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+		f.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+		f.AddFlow(workload.LineFS(id, 1024, 1024))
+		id++
+	}
+	f.RunFor(50 * sim.Microsecond) // warm up flows and ring occupancy
+	before := f.Eng.Processed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RunFor(100 * sim.Microsecond)
+	}
+	b.StopTimer()
+	events := f.Eng.Processed - before
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/sec")
+}
+
 // --- Micro benchmarks of the core data structures ------------------------
 
 func BenchmarkEngineScheduling(b *testing.B) {
@@ -151,6 +183,40 @@ func BenchmarkEngineScheduling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.After(sim.Time(i%64), fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineSchedulingDeep keeps 4096 events pending with horizons
+// spread across timing-wheel levels (64ns to 16ms lookahead), the regime
+// where the binary heap's O(log n) sift and per-push boxing dominate.
+func BenchmarkEngineSchedulingDeep(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	spread := []sim.Time{64, 3 * 1024, 200 * 1024, 16 * 1024 * 1024}
+	for i := 0; i < 4096; i++ {
+		eng.After(spread[i%len(spread)], fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(spread[i%len(spread)], fn)
+		eng.Step()
+	}
+}
+
+// BenchmarkEngineEveryTickers drives 256 concurrent periodic tickers with
+// co-prime periods — the sampler/health-probe shape every machine layer
+// hangs off the engine.
+func BenchmarkEngineEveryTickers(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		eng.Every(sim.Time(i), sim.Time(97+2*i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
 		eng.Step()
 	}
 }

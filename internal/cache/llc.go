@@ -80,6 +80,15 @@ type LLC struct {
 	// onEvict, if set, is invoked for each buffer evicted to DRAM.
 	onEvict func(BufID)
 
+	// freeNodes recycles LRU nodes (chained through node.next) so the
+	// steady-state insert/evict/consume churn of the DMA path does not
+	// allocate.
+	freeNodes *node
+	// evictScratch backs the eviction list InsertIOIn returns; the slice
+	// is reused on the next insert, which is safe because every caller
+	// consumes it before touching the cache again.
+	evictScratch []BufID
+
 	// Statistics (sums over all partitions).
 	Insertions uint64
 	Evictions  uint64
@@ -186,8 +195,24 @@ func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []BufID) {
 		if c.onEvict != nil {
 			c.onEvict(victim.id)
 		}
+		c.freeNode(victim)
 	}
 	return evicted
+}
+
+func (c *LLC) allocNode(id BufID, size int64, part int) *node {
+	n := c.freeNodes
+	if n == nil {
+		return &node{id: id, size: size, part: part}
+	}
+	c.freeNodes = n.next
+	*n = node{id: id, size: size, part: part}
+	return n
+}
+
+func (c *LLC) freeNode(n *node) {
+	*n = node{next: c.freeNodes}
+	c.freeNodes = n
 }
 
 func (p *partition) pushFront(n *node) {
@@ -228,11 +253,16 @@ func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
 // earlier ones", §2.2). The evicted buffer IDs are returned (the eviction
 // handler also fires). Inserting an already-resident buffer refreshes it
 // to MRU within its home partition.
+//
+// The returned slice is valid only until the next insert: it is backed by
+// a scratch buffer reused across calls, so callers must consume it before
+// re-entering the cache (every datapath caller does so synchronously).
 func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
 	}
 	p := &c.parts[part]
+	evicted = c.evictScratch[:0]
 	if size > p.capacity {
 		// A buffer that can never fit bypasses the cache entirely (this
 		// also covers a partition shrunk to zero ways). The miss is NOT
@@ -241,7 +271,9 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		if c.onEvict != nil {
 			c.onEvict(id)
 		}
-		return []BufID{id}
+		evicted = append(evicted, id)
+		c.evictScratch = evicted
+		return evicted
 	}
 	if n, ok := c.entries[id]; ok {
 		// Refresh within the buffer's home partition (a buffer belongs to
@@ -253,7 +285,7 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		p.unlink(n)
 		p.pushFront(n)
 	} else {
-		n := &node{id: id, size: size, part: part}
+		n := c.allocNode(id, size, part)
 		c.entries[id] = n
 		p.pushFront(n)
 		p.occupancy += size
@@ -278,7 +310,9 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		if c.onEvict != nil {
 			c.onEvict(victim.id)
 		}
+		c.freeNode(victim)
 	}
+	c.evictScratch = evicted
 	return evicted
 }
 
@@ -306,6 +340,7 @@ func (c *LLC) ConsumeIn(part int, id BufID) bool {
 	c.occupancy -= n.size
 	p.stats.Hits++
 	c.Hits++
+	c.freeNode(n)
 	return true
 }
 
@@ -358,6 +393,7 @@ func (c *LLC) Drop(id BufID) {
 		delete(c.entries, id)
 		p.occupancy -= n.size
 		c.occupancy -= n.size
+		c.freeNode(n)
 	}
 }
 

@@ -74,6 +74,14 @@ func (m *Memory) BulkMove(size int, done func()) sim.Time {
 	return t + m.latency
 }
 
+// BulkMoveArg is the allocation-free variant of BulkMove: fn(arg) fires
+// when the transfer completes.
+func (m *Memory) BulkMoveArg(size int, fn func(any), arg any) sim.Time {
+	m.BulkMoves++
+	t := m.controller.SubmitArg(size, fn, arg)
+	return t + m.latency
+}
+
 // QueueDelay exposes current memory-controller queueing (used by cost
 // models and for diagnostics).
 func (m *Memory) QueueDelay() sim.Time { return m.controller.QueueDelay() }

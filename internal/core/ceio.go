@@ -109,9 +109,16 @@ type flowState struct {
 
 	fastInFlight  int           // fast-path DMA writes not yet landed
 	waitQ         []*pkt.Packet // on-NIC packets awaiting SW-ring insertion
+	wqHead        int           // consumed prefix of waitQ (popped entries)
 	onNIC         int           // packets resident in on-NIC memory
 	slowUnpushed  int           // slow packets not yet inserted in the SW ring
 	readsInFlight int
+
+	// pollOut backs the batch Poll returns; reused across polls (the
+	// consuming core delivers a batch before polling the flow again).
+	pollOut []*pkt.Packet
+	// drainFn is the persistent retry callback for a stalled bypass drain.
+	drainFn func()
 
 	unreleased      int    // fast-path packets delivered since last release
 	deliveredAtScan uint64 // activity tracking for the credit scan
@@ -133,6 +140,26 @@ type flowState struct {
 	mpq *mpqState // PIAS priority tracking (MPQ scheduler only)
 }
 
+// wqLen returns the number of unconsumed waitQ packets.
+func (st *flowState) wqLen() int { return len(st.waitQ) - st.wqHead }
+
+// wqPeek returns the oldest unconsumed waitQ packet.
+func (st *flowState) wqPeek() *pkt.Packet { return st.waitQ[st.wqHead] }
+
+// wqPop consumes the oldest waitQ packet. Popping advances a head index
+// instead of re-slicing so the backing array is reused once drained —
+// the pop-front/append-back churn of the slow path never reallocates.
+func (st *flowState) wqPop() *pkt.Packet {
+	p := st.waitQ[st.wqHead]
+	st.waitQ[st.wqHead] = nil
+	st.wqHead++
+	if st.wqHead == len(st.waitQ) {
+		st.waitQ = st.waitQ[:0]
+		st.wqHead = 0
+	}
+	return p
+}
+
 // CEIO is the cache-efficient I/O datapath (Figure 5): a credit-based
 // flow controller at the NIC entrance decides per packet between the
 // legacy fast path (DMA into the DDIO region of the LLC) and the elastic
@@ -151,6 +178,10 @@ type CEIO struct {
 	// multi-queue machine (see coreshare.go); nil when Cores == 0 or under
 	// the MPQ strawman.
 	coreShares []int
+
+	// freeJobs recycles the per-packet ctrlJob carriers that ride the
+	// controller window, fast-path DMA, and on-NIC DRAM pipeline.
+	freeJobs *ctrlJob
 
 	// faultMode is set once fault injection is armed: rings tolerate
 	// protocol violations, reconciliation runs, and graceful shedding under
@@ -325,7 +356,7 @@ func (c *CEIO) teardownElastic(st *flowState) {
 	st.steerEpoch++ // cancel outstanding steering retries/commits
 	c.ringViolationsClosed += st.sw.Violations
 	bufBytes := int64(c.m.Cfg.IOBufSize)
-	for _, p := range st.waitQ {
+	for _, p := range st.waitQ[st.wqHead:] {
 		st.onNIC--
 		c.m.NICMemUsed -= bufBytes
 		if st.f.Kind == iosys.CPUInvolved {
@@ -333,7 +364,7 @@ func (c *CEIO) teardownElastic(st *flowState) {
 		}
 		c.m.Drop(st.f, p)
 	}
-	st.waitQ = nil
+	st.waitQ, st.wqHead = nil, 0
 	for {
 		p, slow, ready, ok := st.sw.PopAny()
 		if !ok {
@@ -370,37 +401,82 @@ func (c *CEIO) finishDrain(st *flowState) {
 // credit and take the legacy fast path, or divert to the elastic on-NIC
 // buffer. The control overhead models the flow controller logic on the
 // NIC cores.
+// ctrlJob carries one packet's (controller, flow state, packet) context
+// through the NIC controller's processing window, the fast-path DMA, and
+// the slow-path read pipeline; pool-recycled so the steady state
+// schedules without allocating.
+type ctrlJob struct {
+	c    *CEIO
+	st   *flowState
+	p    *pkt.Packet
+	cont uint8  // read-completion continuation selector
+	idx  uint64 // SW-ring index for contMarkReady
+	next *ctrlJob
+}
+
+// Read-completion continuations (ctrlJob.cont).
+const (
+	// contMarkReady marks SW-ring entry idx ready (CPU-involved flows).
+	contMarkReady uint8 = iota
+	// contBypass runs the CPU-bypass post-processing passes, delivers,
+	// and continues the event-driven drain.
+	contBypass
+)
+
+func (c *CEIO) getJob(st *flowState, p *pkt.Packet) *ctrlJob {
+	j := c.freeJobs
+	if j == nil {
+		j = &ctrlJob{}
+	} else {
+		c.freeJobs = j.next
+	}
+	j.c, j.st, j.p, j.next = c, st, p, nil
+	return j
+}
+
+func (c *CEIO) putJob(j *ctrlJob) {
+	*j = ctrlJob{next: c.freeJobs}
+	c.freeJobs = j
+}
+
 func (c *CEIO) Ingress(f *iosys.Flow, p *pkt.Packet) {
 	st := c.flows[f.ID]
 	if st == nil {
 		return // flow torn down while the packet was on the wire
 	}
-	c.m.Eng.After(c.opt.ControlOverhead, func() {
-		if st.gone {
-			// Torn down during the controller's processing window.
-			c.m.Drop(f, p)
+	c.m.Eng.AfterArg(c.opt.ControlOverhead, ctrlDecide, c.getJob(st, p))
+}
+
+// ctrlDecide runs after the controller's processing window: steer the
+// packet onto the fast path (credits permitting) or the slow path.
+func ctrlDecide(arg any) {
+	j := arg.(*ctrlJob)
+	c, st, p := j.c, j.st, j.p
+	c.putJob(j)
+	if st.gone {
+		// Torn down during the controller's processing window.
+		c.m.Drop(st.f, p)
+		return
+	}
+	action := c.m.Steer.Lookup(st.f.ID, p.Size)
+	if action == flowsteer.ActionFastPath {
+		if st.mode == pkt.PathSlow {
+			// Stale rule: the demotion's table update has not taken
+			// effect yet (injected delay or rejected update). Honour the
+			// controller's decision — a fast-path DMA here would overtake
+			// the flow's queued slow-path packets and break SW-ring FIFO
+			// order. Unreachable in fault-free runs, where rule and mode
+			// change atomically.
+			c.StaleSteerHits++
+			c.ingressSlow(st, p)
 			return
 		}
-		action := c.m.Steer.Lookup(f.ID, p.Size)
-		if action == flowsteer.ActionFastPath {
-			if st.mode == pkt.PathSlow {
-				// Stale rule: the demotion's table update has not taken
-				// effect yet (injected delay or rejected update). Honour the
-				// controller's decision — a fast-path DMA here would overtake
-				// the flow's queued slow-path packets and break SW-ring FIFO
-				// order. Unreachable in fault-free runs, where rule and mode
-				// change atomically.
-				c.StaleSteerHits++
-				c.ingressSlow(st, p)
-				return
-			}
-			if c.admit(st, p) {
-				c.ingressFast(st, p)
-				return
-			}
+		if c.admit(st, p) {
+			c.ingressFast(st, p)
+			return
 		}
-		c.ingressSlow(st, p)
-	})
+	}
+	c.ingressSlow(st, p)
 }
 
 // setSteer moves the flow's steering rule to a, retrying rejected updates
@@ -515,7 +591,17 @@ func (c *CEIO) ingressFast(st *flowState, p *pkt.Packet) {
 	p.Path = pkt.PathFast
 	c.FastPackets++
 	st.fastInFlight++
-	c.m.DMAToHost(p, func() { c.fastLanded(st, p) })
+	c.m.DMAToHostArg(p, ceioFastLanded, c.getJob(st, p))
+}
+
+// ceioFastLanded is the DMA completion trampoline for the fast path: a
+// single package-level func value, so each landing dispatches without
+// allocating a closure.
+func ceioFastLanded(arg any) {
+	j := arg.(*ctrlJob)
+	c, st, p := j.c, j.st, j.p
+	c.putJob(j)
+	c.fastLanded(st, p)
 }
 
 // unadmit returns the credit taken by admit when the fast path could not
@@ -631,7 +717,14 @@ func (c *CEIO) ingressSlow(st *flowState, p *pkt.Packet) {
 		st.slowUnpushed++
 	}
 	// Write into on-NIC DRAM.
-	c.m.NICMem.Submit(p.Size, func() { c.slowArrived(st, p) })
+	c.m.NICMem.SubmitArg(p.Size, ceioSlowArrived, c.getJob(st, p))
+}
+
+func ceioSlowArrived(arg any) {
+	j := arg.(*ctrlJob)
+	c, st, p := j.c, j.st, j.p
+	c.putJob(j)
+	c.slowArrived(st, p)
 }
 
 func (c *CEIO) slowArrived(st *flowState, p *pkt.Packet) {
@@ -669,12 +762,11 @@ func (c *CEIO) flushWaitQ(st *flowState) {
 	if st.f.Kind == iosys.CPUBypass {
 		return
 	}
-	for len(st.waitQ) > 0 && st.fastInFlight == 0 && st.sw.Len() < st.sw.Cap()/2 {
-		p := st.waitQ[0]
-		if _, ok := st.sw.PushSlow(p); !ok {
+	for st.wqLen() > 0 && st.fastInFlight == 0 && st.sw.Len() < st.sw.Cap()/2 {
+		if _, ok := st.sw.PushSlow(st.wqPeek()); !ok {
 			break
 		}
-		st.waitQ = st.waitQ[1:]
+		st.wqPop()
 		st.slowUnpushed--
 	}
 	c.maybeResumeFast(st)
@@ -696,10 +788,8 @@ func (c *CEIO) issueReads(st *flowState) {
 			continue
 		}
 		if c.readStarted(st, e.Pkt) {
-			idx := idx
-			p := e.Pkt
-			if !c.issueRead(st, p, func() { st.sw.MarkReady(idx) }) {
-				p.Landed = false // host pool exhausted: retry on a later poll
+			if !c.issueRead(st, e.Pkt, contMarkReady, idx) {
+				e.Pkt.Landed = false // host pool exhausted: retry on a later poll
 				return
 			}
 			budget--
@@ -720,14 +810,15 @@ func (c *CEIO) readStarted(st *flowState, p *pkt.Packet) bool {
 
 // issueRead performs one slow-path DMA read: on-NIC DRAM access (behind
 // the internal PCIe switch) plus the PCIe round trip, then the host-side
-// commit. then runs on completion. It reports false when no host buffer
-// was available to land the data (the caller retries later).
-func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, then func()) bool {
+// commit. cont selects the completion continuation (idx is its SW-ring
+// operand). It reports false when no host buffer was available to land
+// the data (the caller retries later).
+func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, cont uint8, idx uint64) bool {
 	if !c.m.ReserveHostBuf(p) {
 		return false
 	}
 	st.readsInFlight++
-	c.startRead(st, p, then)
+	c.startRead(st, p, cont, idx)
 	return true
 }
 
@@ -736,7 +827,7 @@ func (c *CEIO) issueRead(st *flowState, p *pkt.Packet, then func()) bool {
 // attempts are independent trials, so the retransmit loop terminates for
 // any loss rate below one. Teardown during the read surrenders the
 // packet's buffers instead of completing it.
-func (c *CEIO) startRead(st *flowState, p *pkt.Packet, then func()) {
+func (c *CEIO) startRead(st *flowState, p *pkt.Packet, cont uint8, idx uint64) {
 	c.m.Trace(trace.KindReadIssued, p.FlowID, p.Seq)
 	device := c.m.Cfg.NICMemLatency + c.m.NICMem.QueueDelay()
 	c.m.NICMem.Submit(p.Size, nil) // on-NIC DRAM read bandwidth
@@ -747,23 +838,48 @@ func (c *CEIO) startRead(st *flowState, p *pkt.Packet, then func()) {
 				return
 			}
 			c.ReadRetries++
-			c.startRead(st, p, then)
+			c.startRead(st, p, cont, idx)
 		})
 		return
 	}
-	c.m.DMA.Read(p.Size, device, func() {
-		if st.gone {
-			c.abortRead(st, p)
-			return
-		}
-		c.m.Uncore.Submit(p.Size, nil) // host-side landing
-		c.m.HostBufLanded(p)
-		st.readsInFlight--
-		st.onNIC--
-		c.m.NICMemUsed -= int64(c.m.Cfg.IOBufSize)
-		then()
-		c.maybeResumeFast(st)
-	})
+	j := c.getJob(st, p)
+	j.cont, j.idx = cont, idx
+	c.m.DMA.ReadTo(p.Size, device, ceioReadLanded, j)
+}
+
+// ceioReadLanded is the DMA-read completion trampoline: host-side
+// accounting, then the continuation the issuer selected.
+func ceioReadLanded(arg any) {
+	j := arg.(*ctrlJob)
+	c, st, p, cont, idx := j.c, j.st, j.p, j.cont, j.idx
+	c.putJob(j)
+	if st.gone {
+		c.abortRead(st, p)
+		return
+	}
+	c.m.Uncore.Submit(p.Size, nil) // host-side landing
+	c.m.HostBufLanded(p)
+	st.readsInFlight--
+	st.onNIC--
+	c.m.NICMemUsed -= int64(c.m.Cfg.IOBufSize)
+	switch cont {
+	case contMarkReady:
+		st.sw.MarkReady(idx)
+	case contBypass:
+		// Data landed in host DRAM; the consumer's post-processing
+		// passes (replication/logging) gate delivery, then the drain
+		// continues.
+		c.m.Mem.BulkMoveArg(p.Size*(1+st.f.PostPasses), ceioBypassMoved, c.getJob(st, p))
+	}
+	c.maybeResumeFast(st)
+}
+
+func ceioBypassMoved(arg any) {
+	j := arg.(*ctrlJob)
+	c, st, p := j.c, j.st, j.p
+	c.putJob(j)
+	c.m.Deliver(st.f, p)
+	c.drainBypass(st)
 }
 
 // abortRead finishes an in-flight read whose flow was torn down: the
@@ -788,25 +904,18 @@ func (c *CEIO) drainBypass(st *flowState) {
 	if !c.opt.AsyncDrain {
 		limit = 1
 	}
-	for st.readsInFlight < limit && len(st.waitQ) > 0 {
-		p := st.waitQ[0]
-		ok := c.issueRead(st, p, func() {
-			// Data landed in host DRAM; the consumer's post-processing
-			// passes (replication/logging) gate delivery, then the drain
-			// continues.
-			c.m.Mem.BulkMove(p.Size*(1+st.f.PostPasses), func() {
-				c.m.Deliver(st.f, p)
-				c.drainBypass(st)
-			})
-		})
-		if !ok {
+	for st.readsInFlight < limit && st.wqLen() > 0 {
+		if !c.issueRead(st, st.wqPeek(), contBypass, 0) {
 			// Host pool exhausted: hold the queue and retry shortly
 			// (bypass drains are event-driven, with no poll loop to
 			// retry them).
-			c.m.Eng.After(c.m.Cfg.PollInterval*16, func() { c.drainBypass(st) })
+			if st.drainFn == nil {
+				st.drainFn = func() { c.drainBypass(st) }
+			}
+			c.m.Eng.After(c.m.Cfg.PollInterval*16, st.drainFn)
 			return
 		}
-		st.waitQ = st.waitQ[1:]
+		st.wqPop()
 	}
 }
 
@@ -828,21 +937,27 @@ func (c *CEIO) Poll(f *iosys.Flow, max int) []*pkt.Packet {
 			if c.readStarted(st, head.Pkt) {
 				idx := st.sw.PendingSlow(1)
 				if len(idx) == 1 {
-					i := idx[0]
-					if !c.issueRead(st, head.Pkt, func() { st.sw.MarkReady(i) }) {
+					if !c.issueRead(st, head.Pkt, contMarkReady, idx[0]) {
 						head.Pkt.Landed = false
 					}
 				}
 			}
 		}
 	}
-	var out []*pkt.Packet
+	// The returned batch is backed by a per-flow scratch buffer, reused on
+	// the flow's next poll (the consuming core always delivers a batch
+	// before polling the same flow again).
+	out := st.pollOut[:0]
 	for len(out) < max {
 		p := st.sw.PopReady()
 		if p == nil {
 			break
 		}
 		out = append(out, p)
+	}
+	st.pollOut = out
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -952,13 +1067,13 @@ func (c *CEIO) maybeResumeFast(st *flowState) {
 		// packets (pushed at DMA completion) cannot overtake them. This
 		// is the phase-exclusivity rule of §4.2, applied at the ring
 		// boundary rather than waiting for the physical drain to finish.
-		if st.slowUnpushed != 0 || len(st.waitQ) != 0 {
+		if st.slowUnpushed != 0 || st.wqLen() != 0 {
 			return
 		}
 	} else {
 		// CPU-bypass packets have no ordering ring: resume once every
 		// on-NIC packet has its drain read committed to the pipeline.
-		if st.onNIC != st.readsInFlight || len(st.waitQ) != 0 {
+		if st.onNIC != st.readsInFlight || st.wqLen() != 0 {
 			return
 		}
 	}
@@ -1153,5 +1268,5 @@ func (c *CEIO) DebugFlow(id int) string {
 		return "<none>"
 	}
 	return fmt.Sprintf("mode=%v onNIC=%d waitQ=%d reads=%d swLen=%d unreleased=%d",
-		st.mode, st.onNIC, len(st.waitQ), st.readsInFlight, st.sw.Len(), st.unreleased)
+		st.mode, st.onNIC, st.wqLen(), st.readsInFlight, st.sw.Len(), st.unreleased)
 }

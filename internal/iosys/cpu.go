@@ -26,6 +26,16 @@ type Core struct {
 	running    bool
 	idleStreak int
 
+	// loopFn / serveFn are the loop's persistent scheduling callbacks,
+	// built once at first start so steady-state polling does not allocate.
+	// A core processes one batch at a time, so the in-flight batch rides
+	// in the fields below between the poll and its service completion.
+	loopFn    func()
+	serveFn   func()
+	batch     []*pkt.Packet
+	batchFlow *Flow
+	batchCost sim.Time
+
 	// Statistics.
 	Polls      uint64
 	EmptyPolls uint64
@@ -83,9 +93,13 @@ func (c *Core) start() {
 	if c.running {
 		return
 	}
+	if c.loopFn == nil {
+		c.loopFn = c.loop
+		c.serveFn = c.serveBatch
+	}
 	c.running = true
 	c.idleStreak = 0
-	c.m.Eng.After(0, c.loop)
+	c.m.Eng.After(0, c.loopFn)
 }
 
 func (c *Core) stop() { c.running = false }
@@ -120,7 +134,7 @@ func (c *Core) loop() {
 		if backoff > maxIdleBackoff {
 			backoff = maxIdleBackoff
 		}
-		c.m.Eng.After(c.m.Cfg.PollInterval*sim.Time(backoff), c.loop)
+		c.m.Eng.After(c.m.Cfg.PollInterval*sim.Time(backoff), c.loopFn)
 		return
 	}
 	c.idleStreak = 0
@@ -134,14 +148,21 @@ func (c *Core) loop() {
 		c.StallTime += stall
 		total += stall
 	}
-	c.m.Eng.After(total, func() {
-		c.BusyTime += total
-		for _, p := range batch {
-			c.Processed++
-			c.m.Deliver(flow, p)
-		}
-		c.loop()
-	})
+	c.batch, c.batchFlow, c.batchCost = batch, flow, total
+	c.m.Eng.After(total, c.serveFn)
+}
+
+// serveBatch completes the in-flight batch after its modelled CPU time:
+// the packets are delivered to the application and the loop re-polls.
+func (c *Core) serveBatch() {
+	batch, flow := c.batch, c.batchFlow
+	c.BusyTime += c.batchCost
+	c.batch, c.batchFlow = nil, nil
+	for _, p := range batch {
+		c.Processed++
+		c.m.Deliver(flow, p)
+	}
+	c.loop()
 }
 
 // Utilization reports the fraction of wall time this core spent

@@ -84,6 +84,16 @@ type Machine struct {
 	nextBuf  cache.BufID
 	bufBytes map[cache.BufID]int32
 
+	// PktPool recycles packet descriptors: emit draws from it and
+	// Deliver/Drop return to it, so the steady-state rx path allocates
+	// no descriptors (the engine-side counterpart is the timing wheel's
+	// record pool).
+	PktPool *pkt.Pool
+	// freeRx / freeDMA are carrier free lists for the zero-alloc event
+	// plumbing of the rx path; see rxJob and dmaJob.
+	freeRx  *rxJob
+	freeDMA *dmaJob
+
 	// HostPool bounds host I/O buffers when Config.HostBuffers > 0
 	// (nil otherwise). NoHostBufDrops counts packets lost to exhaustion.
 	HostPool       *bufpool.Pool
@@ -172,6 +182,7 @@ func NewMachineOnEngine(eng *sim.Engine, cfg Config, dp Datapath) (*Machine, err
 		Flows:    make(map[int]*Flow),
 		cores:    make(map[int]*Core),
 		bufBytes: make(map[cache.BufID]int32),
+		PktPool:  pkt.NewPool(),
 	}
 	m.DMA = pcie.NewEngine(eng, m.ToHost, m.ToNIC, m.IIO, cfg.DMACredits)
 	if cfg.Cores > 0 {
@@ -437,32 +448,44 @@ func (m *Machine) scheduleNextPacket(f *Flow) {
 	if gap < 1 {
 		gap = 1
 	}
-	m.Eng.After(gap, func() {
-		if !f.Active() {
+	if f.pace == nil {
+		// The pacing and burst-resume callbacks are built once per flow
+		// and rescheduled by reference, so steady-state pacing never
+		// allocates a closure.
+		f.pace = func() { m.paceTick(f) }
+		f.paceResume = func() { m.scheduleNextPacket(f) }
+	}
+	m.Eng.After(gap, f.pace)
+}
+
+// paceTick is the generator's per-packet tick: burst shaping, window
+// gating, then emission.
+func (m *Machine) paceTick(f *Flow) {
+	if !f.Active() {
+		return
+	}
+	// On/off burst shaping: during the off phase, park until the next
+	// on phase begins (phase locked to the clock, forming incast
+	// across flows with the same shape).
+	if f.BurstOn > 0 && f.BurstOff > 0 {
+		cycle := f.BurstOn + f.BurstOff
+		pos := m.Eng.Now() % cycle
+		if pos >= f.BurstOn {
+			m.Eng.After(cycle-pos, f.paceResume)
 			return
 		}
-		// On/off burst shaping: during the off phase, park until the next
-		// on phase begins (phase locked to the clock, forming incast
-		// across flows with the same shape).
-		if f.BurstOn > 0 && f.BurstOff > 0 {
-			cycle := f.BurstOn + f.BurstOff
-			pos := m.Eng.Now() % cycle
-			if pos >= f.BurstOn {
-				m.Eng.After(cycle-pos, func() { m.scheduleNextPacket(f) })
-				return
-			}
-		}
-		// Window check: at least one packet may always be in flight so a
-		// window smaller than the packet size (jumbo frames at the rate
-		// floor) cannot deadlock the generator.
-		if f.inFlight > 0 && float64(f.inFlight)+wire > f.CC.Window() {
-			// Window closed: park until a delivery or drop frees space.
-			f.windowBlocked = true
-			return
-		}
-		m.emit(f)
-		m.scheduleNextPacket(f)
-	})
+	}
+	// Window check: at least one packet may always be in flight so a
+	// window smaller than the packet size (jumbo frames at the rate
+	// floor) cannot deadlock the generator.
+	wire := float64(f.PktSize + m.Cfg.EthOverhead)
+	if f.inFlight > 0 && float64(f.inFlight)+wire > f.CC.Window() {
+		// Window closed: park until a delivery or drop frees space.
+		f.windowBlocked = true
+		return
+	}
+	m.emit(f)
+	m.scheduleNextPacket(f)
 }
 
 // windowOpened resumes a generator parked on a closed window.
@@ -473,18 +496,44 @@ func (m *Machine) windowOpened(f *Flow) {
 	}
 }
 
+// rxJob carries one packet's (machine, flow, packet) context through the
+// wire-serialisation and NIC-pipeline stages. Pool-recycled so the rx
+// path schedules with AtArg instead of allocating a closure per stage.
+type rxJob struct {
+	m    *Machine
+	f    *Flow
+	p    *pkt.Packet
+	then func() // optional continuation (ConsumeBypass)
+	next *rxJob
+}
+
+func (m *Machine) getRxJob(f *Flow, p *pkt.Packet) *rxJob {
+	j := m.freeRx
+	if j == nil {
+		j = &rxJob{}
+	} else {
+		m.freeRx = j.next
+	}
+	j.m, j.f, j.p, j.then, j.next = m, f, p, nil, nil
+	return j
+}
+
+func (m *Machine) putRxJob(j *rxJob) {
+	*j = rxJob{next: m.freeRx}
+	m.freeRx = j
+}
+
 // emit injects one packet onto the wire toward the NIC.
 func (m *Machine) emit(f *Flow) {
 	m.nextBuf++
-	p := &pkt.Packet{
-		Buf:      m.nextBuf,
-		FlowID:   f.ID,
-		Seq:      f.nextSeq,
-		Size:     f.PktSize,
-		Part:     f.part,
-		MsgStart: f.msgPos == 0,
-		MsgEnd:   f.msgPos == f.MsgPkts-1,
-	}
+	p := m.PktPool.Get()
+	p.Buf = m.nextBuf
+	p.FlowID = f.ID
+	p.Seq = f.nextSeq
+	p.Size = f.PktSize
+	p.Part = f.part
+	p.MsgStart = f.msgPos == 0
+	p.MsgEnd = f.msgPos == f.MsgPkts-1
 	f.nextSeq++
 	f.msgPos++
 	if f.msgPos == f.MsgPkts {
@@ -499,26 +548,71 @@ func (m *Machine) emit(f *Flow) {
 	if m.RxWire.QueueDelay() > m.Cfg.MarkThreshold {
 		p.Marked = true
 	}
-	m.RxWire.Submit(p.Size+m.Cfg.EthOverhead, func() {
-		p.Arrival = m.Eng.Now()
-		// Injected wire faults: a dropped frame never reaches the NIC; a
-		// corrupted one fails the FCS check in the MAC and is discarded
-		// there. Either way the sender's CCA observes the loss.
-		switch m.Faults.WireVerdict() {
-		case faults.VerdictDrop:
-			m.FaultDrops++
-			m.Trace(trace.KindFault, p.FlowID, p.Seq)
-			m.Drop(f, p)
-			return
-		case faults.VerdictCorrupt:
-			m.FaultCorrupts++
-			m.Trace(trace.KindFault, p.FlowID, p.Seq)
-			m.Drop(f, p)
-			return
-		}
-		m.Trace(trace.KindArrive, p.FlowID, p.Seq)
-		m.Eng.After(m.Cfg.NICPipelineCost, func() { m.DP.Ingress(f, p) })
-	})
+	m.RxWire.SubmitArg(p.Size+m.Cfg.EthOverhead, wireArrived, m.getRxJob(f, p))
+}
+
+// wireArrived fires when a frame finishes serialising through the rx
+// port: fault checks, then the NIC pipeline stage.
+func wireArrived(arg any) {
+	j := arg.(*rxJob)
+	m, f, p := j.m, j.f, j.p
+	p.Arrival = m.Eng.Now()
+	// Injected wire faults: a dropped frame never reaches the NIC; a
+	// corrupted one fails the FCS check in the MAC and is discarded
+	// there. Either way the sender's CCA observes the loss.
+	switch m.Faults.WireVerdict() {
+	case faults.VerdictDrop:
+		m.FaultDrops++
+		m.Trace(trace.KindFault, p.FlowID, p.Seq)
+		m.putRxJob(j)
+		m.Drop(f, p)
+		return
+	case faults.VerdictCorrupt:
+		m.FaultCorrupts++
+		m.Trace(trace.KindFault, p.FlowID, p.Seq)
+		m.putRxJob(j)
+		m.Drop(f, p)
+		return
+	}
+	m.Trace(trace.KindArrive, p.FlowID, p.Seq)
+	m.Eng.AfterArg(m.Cfg.NICPipelineCost, nicIngress, j)
+}
+
+// nicIngress hands the packet to the datapath after the NIC pipeline
+// delay and recycles the carrier.
+func nicIngress(arg any) {
+	j := arg.(*rxJob)
+	m, f, p := j.m, j.f, j.p
+	m.putRxJob(j)
+	m.DP.Ingress(f, p)
+}
+
+// dmaJob carries one packet's DMA-write context (IIO arrival, LLC
+// commit, landed continuation) without per-stage closures; pooled like
+// rxJob.
+type dmaJob struct {
+	m    *Machine
+	p    *pkt.Packet
+	fn   func(any) // landed continuation
+	arg  any
+	w    *pcie.Write
+	next *dmaJob
+}
+
+func (m *Machine) getDMAJob(p *pkt.Packet, fn func(any), arg any) *dmaJob {
+	j := m.freeDMA
+	if j == nil {
+		j = &dmaJob{}
+	} else {
+		m.freeDMA = j.next
+	}
+	j.m, j.p, j.fn, j.arg, j.w, j.next = m, p, fn, arg, nil, nil
+	return j
+}
+
+func (m *Machine) putDMAJob(j *dmaJob) {
+	*j = dmaJob{next: m.freeDMA}
+	m.freeDMA = j
 }
 
 // DMAToHost carries p over PCIe, commits it through the IIO into the
@@ -527,30 +621,53 @@ func (m *Machine) emit(f *Flow) {
 // memory controller's backlog — the host-congestion coupling HostCC's
 // IIO signal detects.
 func (m *Machine) DMAToHost(p *pkt.Packet, landed func()) {
-	m.DMA.Write(p.Size, func(done func()) {
-		// An in-flight packet pins a whole pooled I/O buffer's worth of
-		// cache: DDIO rewrites only the packet's lines, but buffer-pool
-		// recycling leaves the rest of the 2KB buffer's lines resident
-		// from earlier use. Jumbo frames span multiple buffers.
-		occ := int64(m.Cfg.IOBufSize)
-		if lines := int64((p.Size + 63) &^ 63); lines > occ {
-			occ = lines
-		}
-		evicted := m.LLC.InsertIOIn(p.Part, p.Buf, occ)
-		// Evicted dirty lines write back to DRAM asynchronously, charging
-		// memory bandwidth (and thereby inflating CPU miss latency and
-		// slowing bulk moves) without stalling the DDIO commit itself.
-		m.writebackEvicted(evicted)
-		m.Uncore.Submit(p.Size, nil)
-		commit := m.Uncore.QueueDelay()
-		m.Eng.After(commit, func() {
-			p.Landed = true
-			m.HostBufLanded(p)
-			m.Trace(trace.KindLanded, p.FlowID, p.Seq)
-			done()
-			landed()
-		})
-	})
+	m.DMAToHostArg(p, callLanded, landed)
+}
+
+func callLanded(arg any) { arg.(func())() }
+
+// DMAToHostArg is the allocation-free form of DMAToHost: landed(arg)
+// fires once the packet's lines are committed into the LLC.
+func (m *Machine) DMAToHostArg(p *pkt.Packet, landed func(any), arg any) {
+	m.DMA.WriteTo(p.Size, dmaArrived, m.getDMAJob(p, landed, arg))
+}
+
+// dmaArrived fires at the head of the IIO: the packet's lines commit
+// into the DDIO region, evictions write back, and the uncore port clocks
+// the commit latency.
+func dmaArrived(arg any, w *pcie.Write) {
+	j := arg.(*dmaJob)
+	m, p := j.m, j.p
+	j.w = w
+	// An in-flight packet pins a whole pooled I/O buffer's worth of
+	// cache: DDIO rewrites only the packet's lines, but buffer-pool
+	// recycling leaves the rest of the 2KB buffer's lines resident
+	// from earlier use. Jumbo frames span multiple buffers.
+	occ := int64(m.Cfg.IOBufSize)
+	if lines := int64((p.Size + 63) &^ 63); lines > occ {
+		occ = lines
+	}
+	evicted := m.LLC.InsertIOIn(p.Part, p.Buf, occ)
+	// Evicted dirty lines write back to DRAM asynchronously, charging
+	// memory bandwidth (and thereby inflating CPU miss latency and
+	// slowing bulk moves) without stalling the DDIO commit itself.
+	m.writebackEvicted(evicted)
+	m.Uncore.Submit(p.Size, nil)
+	m.Eng.AfterArg(m.Uncore.QueueDelay(), dmaCommitted, j)
+}
+
+// dmaCommitted finalises the DMA: the packet is resident, the IIO slot
+// drains, and the datapath's landed continuation runs.
+func dmaCommitted(arg any) {
+	j := arg.(*dmaJob)
+	m, p := j.m, j.p
+	p.Landed = true
+	m.HostBufLanded(p)
+	m.Trace(trace.KindLanded, p.FlowID, p.Seq)
+	w, fn, farg := j.w, j.fn, j.arg
+	m.putDMAJob(j)
+	w.Done()
+	fn(farg)
 }
 
 // writebackEvicted charges DRAM writebacks for buffers evicted from the
@@ -597,6 +714,9 @@ func (m *Machine) Deliver(f *Flow, p *pkt.Packet) {
 		m.OnDeliver(f, p)
 	}
 	m.DP.OnDelivered(f, p)
+	// End of the descriptor's life: every packet terminates in exactly
+	// one Deliver or Drop, so this is the unique recycle point.
+	m.PktPool.Put(p)
 	m.windowOpened(f)
 }
 
@@ -611,6 +731,7 @@ func (m *Machine) Drop(f *Flow, p *pkt.Packet) {
 	m.releaseHostBuf(p)
 	m.Trace(trace.KindDropped, p.FlowID, p.Seq)
 	f.CC.OnLoss()
+	m.PktPool.Put(p)
 	m.windowOpened(f)
 }
 
@@ -634,21 +755,31 @@ func (m *Machine) ConsumeBypass(f *Flow, p *pkt.Packet, then func()) {
 	// logging) multiply the memory traffic per received byte and gate
 	// delivery, so a DFS under load becomes memory-bandwidth-bound.
 	moved := p.Size * (1 + f.PostPasses)
-	m.Mem.BulkMove(moved, func() {
-		hit := m.LLC.ProbeIn(p.Part, p.Buf)
-		if m.Tenants != nil {
-			m.Tenants.Account(f.tenantIdx, hit)
-		}
-		if !hit {
-			// The consumer's read missed: the chunk was already evicted
-			// to DRAM, costing an extra fetch of the payload.
-			m.Mem.Writeback(p.Size)
-		}
-		m.Deliver(f, p)
-		if then != nil {
-			then()
-		}
-	})
+	j := m.getRxJob(f, p)
+	j.then = then
+	m.Mem.BulkMoveArg(moved, bypassMoved, j)
+}
+
+// bypassMoved fires when the memory controller finishes streaming a
+// CPU-bypass chunk onward: probe the LLC, charge a DRAM fetch on a miss,
+// and deliver.
+func bypassMoved(arg any) {
+	j := arg.(*rxJob)
+	m, f, p, then := j.m, j.f, j.p, j.then
+	m.putRxJob(j)
+	hit := m.LLC.ProbeIn(p.Part, p.Buf)
+	if m.Tenants != nil {
+		m.Tenants.Account(f.tenantIdx, hit)
+	}
+	if !hit {
+		// The consumer's read missed: the chunk was already evicted
+		// to DRAM, costing an extra fetch of the payload.
+		m.Mem.Writeback(p.Size)
+	}
+	m.Deliver(f, p)
+	if then != nil {
+		then()
+	}
 }
 
 // PacketCPUCost computes the CPU time to process one packet on a core:

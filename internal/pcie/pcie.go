@@ -64,6 +64,12 @@ func (l *Link) Transfer(size int, done func()) sim.Time {
 	return l.srv.Submit(l.WireBytes(size), done)
 }
 
+// TransferArg is the allocation-free variant of Transfer: fn(arg) fires
+// on arrival.
+func (l *Link) TransferArg(size int, fn func(any), arg any) sim.Time {
+	return l.srv.SubmitArg(l.WireBytes(size), fn, arg)
+}
+
 // QueueDelay reports current serialisation backlog on the link.
 func (l *Link) QueueDelay() sim.Time { return l.srv.QueueDelay() }
 
@@ -82,10 +88,13 @@ type Engine struct {
 
 	writeCredits int
 	maxCredits   int
-	pendingW     []pendingWrite
+	pendingW     []*Write
 
-	// iioRetry guards against scheduling multiple concurrent IIO retries.
-	iioWaiting []pendingWrite
+	// iioWaiting parks writes rejected by a full IIO until it drains.
+	iioWaiting []*Write
+
+	// freeW is the write-carrier free list; see allocWrite.
+	freeW *Write
 
 	// Read-tag pool: PCIe non-posted reads carry a bounded number of
 	// outstanding tags; excess read requests queue. This is the
@@ -93,7 +102,10 @@ type Engine struct {
 	// (§6.4 "Understanding Performance Penalties of Slow Path").
 	readCredits int
 	maxReads    int
-	pendingR    []pendingRead
+	pendingR    []*readOp
+
+	// freeR is the read-carrier free list; see allocRead.
+	freeR *readOp
 
 	// Faults, when set, injects DMA stall episodes: new writes and reads
 	// are held until the stall window ends (PCIe credit exhaustion).
@@ -108,15 +120,41 @@ type Engine struct {
 	FaultStalls     uint64 // operations deferred by injected DMA stalls
 }
 
-type pendingRead struct {
+// readOp is one in-flight DMA read: a pool-recycled carrier that rides
+// the request TLP to the NIC, the device access, and the payload return
+// without allocating.
+type readOp struct {
+	d             *Engine
 	size          int
 	deviceLatency sim.Time
-	done          func()
+	fn            func(any)
+	arg           any
+	next          *readOp
 }
 
-type pendingWrite struct {
+// Write is one in-flight DMA write: a pool-recycled carrier that rides
+// the engine's event queue from issue to IIO arrival without allocating.
+// The deliver callback receives it and must call Done exactly once when
+// the host memory subsystem has absorbed the data — that drains the IIO,
+// releases the DMA credit, and recycles the carrier.
+type Write struct {
+	d       *Engine
 	size    int
-	deliver func(done func())
+	deliver func(arg any, w *Write)
+	arg     any
+	next    *Write
+}
+
+// Done signals that the host absorbed the write: the IIO slot drains,
+// the DMA credit frees (admitting a queued write, if any), and parked
+// IIO-backpressured writes retry.
+func (w *Write) Done() {
+	d := w.d
+	size := w.size
+	d.freeWrite(w)
+	d.iio.Drain(int64(size))
+	d.releaseWriteCredit()
+	d.retryIIOWaiters()
 }
 
 // NewEngine builds a DMA engine with maxOutstanding write credits and a
@@ -147,27 +185,80 @@ func (d *Engine) OutstandingReads() int { return d.maxReads - d.readCredits }
 // OutstandingWrites reports write credits currently in use.
 func (d *Engine) OutstandingWrites() int { return d.maxCredits - d.writeCredits }
 
-// Write issues a DMA write of size bytes toward the host. deliver is
-// invoked when the data reaches the head of the IIO buffer; the host
-// memory subsystem must call the supplied done function once it has
-// absorbed the data, which drains the IIO and releases the DMA credit.
-func (d *Engine) Write(size int, deliver func(done func())) {
+// --- write carrier pool --------------------------------------------------
+
+func (d *Engine) allocWrite(size int, deliver func(any, *Write), arg any) *Write {
+	w := d.freeW
+	if w == nil {
+		w = &Write{}
+	} else {
+		d.freeW = w.next
+	}
+	*w = Write{d: d, size: size, deliver: deliver, arg: arg}
+	return w
+}
+
+// freeWrite recycles a carrier, dropping its callback and argument so the
+// pool never retains dead captures.
+func (d *Engine) freeWrite(w *Write) {
+	*w = Write{next: d.freeW}
+	d.freeW = w
+}
+
+// WriteTo issues a DMA write of size bytes toward the host. deliver(arg,
+// w) is invoked when the data reaches the head of the IIO buffer; the
+// host memory subsystem must call w.Done once it has absorbed the data.
+// Like the engine's AtArg, the long-lived deliver func plus explicit arg
+// make a steady-state write allocation-free.
+func (d *Engine) WriteTo(size int, deliver func(arg any, w *Write), arg any) {
+	w := d.allocWrite(size, deliver, arg)
 	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
 		d.FaultStalls++
-		d.eng.At(end, func() { d.Write(size, deliver) })
+		d.eng.AtArg(end, retryWrite, w)
 		return
 	}
+	d.issueWrite(w)
+}
+
+func retryWrite(arg any) {
+	w := arg.(*Write)
+	d := w.d
+	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
+		d.FaultStalls++
+		d.eng.AtArg(end, retryWrite, w)
+		return
+	}
+	d.issueWrite(w)
+}
+
+func (d *Engine) issueWrite(w *Write) {
 	if d.writeCredits == 0 {
 		d.CreditStalls++
-		d.pendingW = append(d.pendingW, pendingWrite{size, deliver})
+		d.pendingW = append(d.pendingW, w)
 		return
 	}
 	d.writeCredits--
 	d.Writes++
-	d.toHost.Transfer(size, func() { d.arriveAtIIO(pendingWrite{size, deliver}) })
+	d.toHost.TransferArg(w.size, writeArrived, w)
 }
 
-func (d *Engine) arriveAtIIO(w pendingWrite) {
+func writeArrived(arg any) {
+	w := arg.(*Write)
+	w.d.arriveAtIIO(w)
+}
+
+// Write is the closure-based convenience form of WriteTo: deliver fires
+// at the IIO head with a done func that forwards to Write.Done. Hot
+// paths should prefer WriteTo, which allocates nothing in steady state.
+func (d *Engine) Write(size int, deliver func(done func())) {
+	d.WriteTo(size, legacyDeliver, deliver)
+}
+
+func legacyDeliver(arg any, w *Write) {
+	arg.(func(done func()))(w.Done)
+}
+
+func (d *Engine) arriveAtIIO(w *Write) {
 	if !d.iio.TryEnqueue(int64(w.size)) {
 		// IIO full: the root complex exerts backpressure. Park the write;
 		// it is retried whenever the IIO drains.
@@ -175,21 +266,18 @@ func (d *Engine) arriveAtIIO(w pendingWrite) {
 		d.iioWaiting = append(d.iioWaiting, w)
 		return
 	}
-	w.deliver(func() {
-		d.iio.Drain(int64(w.size))
-		d.releaseWriteCredit()
-		d.retryIIOWaiters()
-	})
+	w.deliver(w.arg, w)
 }
 
 func (d *Engine) releaseWriteCredit() {
 	d.writeCredits++
 	if len(d.pendingW) > 0 && d.writeCredits > 0 {
 		next := d.pendingW[0]
+		d.pendingW[0] = nil
 		d.pendingW = d.pendingW[1:]
 		d.writeCredits--
 		d.Writes++
-		d.toHost.Transfer(next.size, func() { d.arriveAtIIO(next) })
+		d.toHost.TransferArg(next.size, writeArrived, next)
 	}
 }
 
@@ -199,52 +287,106 @@ func (d *Engine) retryIIOWaiters() {
 		if !d.iio.TryEnqueue(int64(w.size)) {
 			return
 		}
+		d.iioWaiting[0] = nil
 		d.iioWaiting = d.iioWaiting[1:]
-		w.deliver(func() {
-			d.iio.Drain(int64(w.size))
-			d.releaseWriteCredit()
-			d.retryIIOWaiters()
-		})
+		w.deliver(w.arg, w)
 	}
 }
 
-// Read issues a DMA read of size bytes from device memory into the host
+// --- read carrier pool ---------------------------------------------------
+
+func (d *Engine) allocRead(size int, deviceLatency sim.Time, fn func(any), arg any) *readOp {
+	r := d.freeR
+	if r == nil {
+		r = &readOp{}
+	} else {
+		d.freeR = r.next
+	}
+	*r = readOp{d: d, size: size, deviceLatency: deviceLatency, fn: fn, arg: arg}
+	return r
+}
+
+func (d *Engine) freeRead(r *readOp) {
+	*r = readOp{next: d.freeR}
+	d.freeR = r
+}
+
+// ReadTo issues a DMA read of size bytes from device memory into the host
 // (the CEIO slow-path fetch). The request header crosses to the NIC, the
 // device serves it (deviceLatency covers on-NIC memory access and any
-// internal switch traversal), and the payload crosses back. done fires
+// internal switch traversal), and the payload crosses back. fn(arg) fires
 // when the payload lands in host memory. Reads beyond the tag pool queue
 // FIFO — the shared bottleneck that caps aggregate slow-path throughput
-// when many flows drain concurrently.
-func (d *Engine) Read(size int, deviceLatency sim.Time, done func()) {
+// when many flows drain concurrently. Like the engine's AtArg, the
+// long-lived fn plus explicit arg make a steady-state read
+// allocation-free.
+func (d *Engine) ReadTo(size int, deviceLatency sim.Time, fn func(any), arg any) {
+	r := d.allocRead(size, deviceLatency, fn, arg)
 	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
 		d.FaultStalls++
-		d.eng.At(end, func() { d.Read(size, deviceLatency, done) })
+		d.eng.AtArg(end, retryRead, r)
 		return
 	}
+	d.issueRead(r)
+}
+
+func retryRead(arg any) {
+	r := arg.(*readOp)
+	d := r.d
+	if end := d.Faults.DMAStallEnd(d.eng.Now()); end > 0 {
+		d.FaultStalls++
+		d.eng.AtArg(end, retryRead, r)
+		return
+	}
+	d.issueRead(r)
+}
+
+func (d *Engine) issueRead(r *readOp) {
 	if d.readCredits == 0 {
 		d.ReadStalls++
-		d.pendingR = append(d.pendingR, pendingRead{size, deviceLatency, done})
+		d.pendingR = append(d.pendingR, r)
 		return
 	}
 	d.readCredits--
-	d.startRead(pendingRead{size, deviceLatency, done})
+	d.startRead(r)
 }
 
-func (d *Engine) startRead(r pendingRead) {
+// Read is the closure-based convenience form of ReadTo. Hot paths should
+// prefer ReadTo, which allocates nothing in steady state.
+func (d *Engine) Read(size int, deviceLatency sim.Time, done func()) {
+	d.ReadTo(size, deviceLatency, legacyReadDone, done)
+}
+
+func legacyReadDone(arg any) { arg.(func())() }
+
+func (d *Engine) startRead(r *readOp) {
 	d.Reads++
 	// Request TLP toward the NIC.
-	d.toNIC.Transfer(32, func() {
-		d.eng.After(r.deviceLatency, func() {
-			d.toHost.Transfer(r.size, func() {
-				r.done()
-				d.readCredits++
-				if len(d.pendingR) > 0 && d.readCredits > 0 {
-					next := d.pendingR[0]
-					d.pendingR = d.pendingR[1:]
-					d.readCredits--
-					d.startRead(next)
-				}
-			})
-		})
-	})
+	d.toNIC.TransferArg(32, readReqArrived, r)
+}
+
+func readReqArrived(arg any) {
+	r := arg.(*readOp)
+	r.d.eng.AfterArg(r.deviceLatency, readDeviceServed, r)
+}
+
+func readDeviceServed(arg any) {
+	r := arg.(*readOp)
+	r.d.toHost.TransferArg(r.size, readPayloadLanded, r)
+}
+
+func readPayloadLanded(arg any) {
+	r := arg.(*readOp)
+	d := r.d
+	fn, farg := r.fn, r.arg
+	d.freeRead(r)
+	fn(farg)
+	d.readCredits++
+	if len(d.pendingR) > 0 && d.readCredits > 0 {
+		next := d.pendingR[0]
+		d.pendingR[0] = nil
+		d.pendingR = d.pendingR[1:]
+		d.readCredits--
+		d.startRead(next)
+	}
 }

@@ -64,4 +64,10 @@ type Packet struct {
 	// HostBuf is the pooled host I/O buffer carrying this packet when the
 	// machine runs with a bounded buffer pool (Config.HostBuffers > 0).
 	HostBuf *bufpool.Buffer
+
+	// pooled marks descriptors born from a Pool; recycled flips true
+	// while such a descriptor is parked on the free list, catching
+	// double frees.
+	pooled   bool
+	recycled bool
 }

@@ -1,0 +1,68 @@
+package pkt
+
+import "testing"
+
+func TestPoolRecyclesDescriptors(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	p.FlowID = 7
+	p.Seq = 42
+	p.Marked = true
+	pl.Put(p)
+	q := pl.Get()
+	if q != p {
+		t.Fatal("pool did not recycle the descriptor")
+	}
+	if q.FlowID != 0 || q.Seq != 0 || q.Marked || q.Landed || q.HostBuf != nil {
+		t.Fatalf("recycled descriptor not zeroed: %+v", q)
+	}
+	if pl.Gets != 2 || pl.Puts != 1 || pl.News != 1 {
+		t.Fatalf("stats gets=%d puts=%d news=%d, want 2/1/1", pl.Gets, pl.Puts, pl.News)
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get()
+	pl.Put(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	pl.Put(p)
+}
+
+func TestPoolIgnoresForeignPackets(t *testing.T) {
+	pl := NewPool()
+	p := &Packet{FlowID: 1}
+	pl.Put(p) // must be a no-op, not a panic
+	if pl.Puts != 0 || pl.FreeLen() != 0 {
+		t.Fatal("pool adopted a foreign packet")
+	}
+}
+
+func TestPoolPeakInUse(t *testing.T) {
+	pl := NewPool()
+	a, b, c := pl.Get(), pl.Get(), pl.Get()
+	pl.Put(a)
+	pl.Put(b)
+	if pl.PeakInUse != 3 {
+		t.Fatalf("peak = %d, want 3", pl.PeakInUse)
+	}
+	if pl.InUse() != 1 {
+		t.Fatalf("inUse = %d, want 1", pl.InUse())
+	}
+	pl.Put(c)
+	if pl.FreeLen() != 3 {
+		t.Fatalf("free = %d, want 3", pl.FreeLen())
+	}
+}
+
+func TestPoolSteadyStateZeroAlloc(t *testing.T) {
+	pl := NewPool()
+	pl.Put(pl.Get()) // warm
+	if avg := testing.AllocsPerRun(1000, func() { pl.Put(pl.Get()) }); avg != 0 {
+		t.Fatalf("steady-state Get+Put allocates %.2f objects, want 0", avg)
+	}
+}

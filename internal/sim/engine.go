@@ -3,11 +3,23 @@
 // components (NIC, PCIe, caches, CPU cores, congestion control) are driven
 // by callbacks scheduled on a single Engine, which makes every run fully
 // deterministic for a given seed.
+//
+// The scheduler is a hierarchical timing wheel (Varghese & Lauck) rather
+// than a binary heap: four levels of 256 slots cover a 2^32 ns (~4.29 s)
+// horizon at exact-nanosecond resolution on level 0, with a far-future
+// overflow list beyond that. Event records are pool-allocated in slabs and
+// recycled, so steady-state At/After/Step performs zero heap allocations —
+// the per-push interface boxing and O(log n) sift of container/heap were
+// over half the allocation volume of a fleet run. Level-0 slots hold exact
+// timestamps, so dispatching a slot list is batch same-timestamp dispatch
+// in FIFO append order: firing order is identical to the old heap's
+// (at, seq) order, which keeps every experiment byte-identical.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
 )
 
@@ -41,48 +53,101 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among events with equal timestamps
-	fn  func()
+// Wheel geometry: numLevels levels of slotCount slots each. Level L slot
+// width is 2^(levelBits*L) ns, so level 0 buckets single nanoseconds and
+// the whole wheel spans 2^(levelBits*numLevels) ns before the overflow
+// list takes over.
+const (
+	levelBits   = 8
+	slotCount   = 1 << levelBits
+	slotMask    = slotCount - 1
+	numLevels   = 4
+	horizonBits = levelBits * numLevels
+	slabSize    = 256 // eventRecs per pool growth
+)
+
+const maxTime = Time(math.MaxInt64)
+
+// eventRec is one scheduled callback, pool-allocated and recycled. Either
+// fn or afn is set: afn receives arg, which lets hot paths schedule a
+// long-lived func(any) plus a pointer instead of allocating a fresh
+// closure per event.
+type eventRec struct {
+	at   Time
+	fn   func()
+	afn  func(any)
+	arg  any
+	next *eventRec
+	// gen is bumped every time the record is freed; a handle whose gen
+	// no longer matches refers to an already-fired (or already-cancelled)
+	// event and cancels as a no-op.
+	gen uint64
 }
 
-type eventHeap []event
+// slotList is a FIFO singly-linked list of records. Append order is firing
+// order within a timestamp, which reproduces the heap's seq tie-break.
+type slotList struct {
+	head, tail *eventRec
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (l *slotList) push(r *eventRec) {
+	r.next = nil
+	if l.tail == nil {
+		l.head = r
+	} else {
+		l.tail.next = r
 	}
-	return h[i].seq < h[j].seq
+	l.tail = r
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	// Zero the vacated slot: the backing array would otherwise keep the
-	// popped event's fn closure (and everything it captures) reachable
-	// for as long as the heap's capacity survives.
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+
+func (l *slotList) pop() *eventRec {
+	r := l.head
+	if r != nil {
+		l.head = r.next
+		if l.head == nil {
+			l.tail = nil
+		}
+		r.next = nil
+	}
+	return r
 }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// handle identifies a scheduled record for cancellation. The gen snapshot
+// makes a stale handle (record already fired and recycled) cancel safely
+// as a no-op.
+type handle struct {
+	rec *eventRec
+	gen uint64
+}
 
 // Engine is a single-threaded discrete-event scheduler.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	heap    eventHeap
-	seq     uint64
+	now Time
+	// cursor is the wheel's position; the invariant cursor <= now holds
+	// between dispatches, and every live record r satisfies r.at >= cursor
+	// and sits at level levelFor(r.at) (or the overflow list).
+	cursor Time
+	slots  [numLevels][slotCount]slotList
+	occ    [numLevels][slotCount / 64]uint64
+	// overflow holds records beyond the wheel horizon (>= 2^32 ns ahead
+	// of the cursor's top-level block), pulled in when the cursor rolls
+	// into their block.
+	overflow    slotList
+	overflowLen int
+	pending     int
+
+	freeList *eventRec
+	poolFree int
+
 	rng     *rand.Rand
 	stopped bool
+
 	// Processed counts events executed so far; useful for run budgets.
 	Processed uint64
+	// Cascades counts higher-level slot redistributions (wheel rollovers);
+	// exported for the engine.* telemetry series.
+	Cascades uint64
 }
 
 // NewEngine returns an engine at time zero with a deterministic RNG.
@@ -96,73 +161,427 @@ func (e *Engine) Now() Time { return e.now }
 // Rand exposes the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute time t. Scheduling in the past is an
-// error in the model; it is clamped to Now so that simulations degrade
-// gracefully rather than travel backwards.
-func (e *Engine) At(t Time, fn func()) {
+// Pending reports the number of scheduled events not yet executed.
+// Cancelled events (including a cancelled ticker's queued tick) do not
+// count: cancellation unlinks the record immediately.
+func (e *Engine) Pending() int { return e.pending }
+
+// OverflowPending reports how many pending events sit beyond the wheel
+// horizon on the far-future overflow list.
+func (e *Engine) OverflowPending() int { return e.overflowLen }
+
+// PoolFree reports how many recycled event records are available before
+// the pool grows by another slab.
+func (e *Engine) PoolFree() int { return e.poolFree }
+
+// --- record pool ---------------------------------------------------------
+
+func (e *Engine) allocRec() *eventRec {
+	if e.freeList == nil {
+		slab := make([]eventRec, slabSize)
+		for i := range slab[:slabSize-1] {
+			slab[i].next = &slab[i+1]
+		}
+		e.freeList = &slab[0]
+		e.poolFree = slabSize
+	}
+	r := e.freeList
+	e.freeList = r.next
+	e.poolFree--
+	r.next = nil
+	return r
+}
+
+// freeRec returns a record to the pool, dropping its callback and capture
+// references immediately so the pool never retains dead closures.
+func (e *Engine) freeRec(r *eventRec) {
+	r.fn = nil
+	r.afn = nil
+	r.arg = nil
+	r.gen++
+	r.next = e.freeList
+	e.freeList = r
+	e.poolFree++
+}
+
+// --- wheel primitives ----------------------------------------------------
+
+func (e *Engine) setOcc(level, idx int)   { e.occ[level][idx>>6] |= 1 << (idx & 63) }
+func (e *Engine) clearOcc(level, idx int) { e.occ[level][idx>>6] &^= 1 << (idx & 63) }
+
+// scanOcc returns the first occupied slot index >= from at the given
+// level, if any.
+func (e *Engine) scanOcc(level, from int) (int, bool) {
+	if from >= slotCount {
+		return 0, false
+	}
+	w := from >> 6
+	if m := e.occ[level][w] &^ (1<<(from&63) - 1); m != 0 {
+		return w<<6 + bits.TrailingZeros64(m), true
+	}
+	for w++; w < slotCount/64; w++ {
+		if m := e.occ[level][w]; m != 0 {
+			return w<<6 + bits.TrailingZeros64(m), true
+		}
+	}
+	return 0, false
+}
+
+// levelFor picks the wheel level for a timestamp relative to the cursor:
+// the level whose slot coordinate of t first differs from the cursor's.
+// numLevels means "overflow list".
+func (e *Engine) levelFor(t Time) int {
+	d := uint64(t) ^ uint64(e.cursor)
+	if d < slotCount {
+		return 0
+	}
+	if d >= 1<<horizonBits {
+		return numLevels
+	}
+	return (bits.Len64(d) - 1) / levelBits
+}
+
+// insertRec files a record at the level/slot implied by its timestamp.
+// Slots are indexed by the absolute slot coordinate (t >> levelBits*L) &
+// slotMask, so an insert and a later cascade agree on placement.
+func (e *Engine) insertRec(r *eventRec) {
+	L := e.levelFor(r.at)
+	if L == numLevels {
+		e.overflow.push(r)
+		e.overflowLen++
+		return
+	}
+	idx := int(uint64(r.at)>>(levelBits*L)) & slotMask
+	l := &e.slots[L][idx]
+	if l.head == nil {
+		e.setOcc(L, idx)
+	}
+	l.push(r)
+}
+
+// cascade empties a level-L slot and redistributes its records relative to
+// the (just advanced) cursor. Records strictly descend levels, and
+// list-order reinsertion preserves FIFO within equal timestamps.
+func (e *Engine) cascade(level, idx int) {
+	l := &e.slots[level][idx]
+	r := l.head
+	if r == nil {
+		return
+	}
+	e.Cascades++
+	l.head, l.tail = nil, nil
+	e.clearOcc(level, idx)
+	for r != nil {
+		next := r.next
+		e.insertRec(r)
+		r = next
+	}
+}
+
+// pullOverflow moves every overflow record whose timestamp landed inside
+// the cursor's (new) top-level block onto the wheel, preserving list
+// order for the FIFO tie-break.
+func (e *Engine) pullOverflow() {
+	top := uint64(e.cursor) >> horizonBits
+	var prev *eventRec
+	cur := e.overflow.head
+	for cur != nil {
+		next := cur.next
+		if uint64(cur.at)>>horizonBits == top {
+			if prev == nil {
+				e.overflow.head = next
+			} else {
+				prev.next = next
+			}
+			if next == nil {
+				e.overflow.tail = prev
+			}
+			e.overflowLen--
+			e.insertRec(cur)
+		} else {
+			prev = cur
+		}
+		cur = next
+	}
+}
+
+// popNext removes and returns the earliest pending record with at <=
+// bound, advancing the cursor as far as needed (but never past a slot
+// that starts beyond bound, so a bounded RunUntil leaves the wheel
+// consistent for later inserts at any t >= now). Returns nil when no
+// pending event is due by bound.
+func (e *Engine) popNext(bound Time) *eventRec {
+	if e.pending == 0 {
+		return nil
+	}
+	for {
+		// Level 0 buckets exact timestamps: scan the current 256ns window
+		// from the cursor's own slot (inclusive — same-time events fire in
+		// append order).
+		if idx, ok := e.scanOcc(0, int(uint64(e.cursor))&slotMask); ok {
+			t := Time(uint64(e.cursor)&^uint64(slotMask) | uint64(idx))
+			if t > bound {
+				return nil
+			}
+			l := &e.slots[0][idx]
+			r := l.pop()
+			if l.head == nil {
+				e.clearOcc(0, idx)
+			}
+			e.cursor = t
+			e.pending--
+			return r
+		}
+		// Nothing left in the level-0 window: enter the nearest occupied
+		// higher-level slot (strictly ahead — the current index of level
+		// L>=1 can hold no live record) and cascade it downward.
+		cascaded := false
+		for L := 1; L < numLevels; L++ {
+			idxL := int(uint64(e.cursor)>>(levelBits*L)) & slotMask
+			j, ok := e.scanOcc(L, idxL+1)
+			if !ok {
+				continue
+			}
+			span := uint64(1) << (levelBits * (L + 1))
+			slotStart := Time(uint64(e.cursor)&^(span-1) | uint64(j)<<(levelBits*L))
+			if slotStart > bound {
+				return nil
+			}
+			e.cursor = slotStart
+			e.cascade(L, j)
+			cascaded = true
+			break
+		}
+		if cascaded {
+			continue
+		}
+		// Wheel empty ahead of the cursor: jump to the overflow minimum's
+		// block. Strict < keeps the earliest-scheduled record first among
+		// equal timestamps.
+		r := e.overflow.head
+		if r == nil {
+			return nil
+		}
+		minT := r.at
+		for r = r.next; r != nil; r = r.next {
+			if r.at < minT {
+				minT = r.at
+			}
+		}
+		if minT > bound {
+			return nil
+		}
+		e.cursor = minT
+		e.pullOverflow()
+	}
+}
+
+// advanceCursorTo jumps the cursor forward to t without dispatching —
+// used when RunUntil advances the clock past the last due event. Each
+// level's newly entered slot is cascaded and the overflow is pulled if
+// the top-level block changed, restoring the placement invariant for
+// records the jump passed over.
+func (e *Engine) advanceCursorTo(t Time) {
+	if t <= e.cursor {
+		return
+	}
+	old := e.cursor
+	e.cursor = t
+	for L := numLevels - 1; L >= 1; L-- {
+		if uint64(old)>>(levelBits*L) == uint64(t)>>(levelBits*L) {
+			continue
+		}
+		e.cascade(L, int(uint64(t)>>(levelBits*L))&slotMask)
+	}
+	if uint64(old)>>horizonBits != uint64(t)>>horizonBits {
+		e.pullOverflow()
+	}
+}
+
+// unlink removes a live record from whichever list holds it. The
+// placement invariant makes the lookup O(slot length).
+func (e *Engine) unlink(r *eventRec) bool {
+	l := &e.overflow
+	level := e.levelFor(r.at)
+	idx := -1
+	if level < numLevels {
+		idx = int(uint64(r.at)>>(levelBits*level)) & slotMask
+		l = &e.slots[level][idx]
+	}
+	var prev *eventRec
+	for cur := l.head; cur != nil; prev, cur = cur, cur.next {
+		if cur != r {
+			continue
+		}
+		if prev == nil {
+			l.head = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		if l.tail == cur {
+			l.tail = prev
+		}
+		if idx >= 0 && l.head == nil {
+			e.clearOcc(level, idx)
+		} else if idx < 0 {
+			e.overflowLen--
+		}
+		return true
+	}
+	return false
+}
+
+// --- scheduling API ------------------------------------------------------
+
+func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) handle {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.heap.pushEvent(event{at: t, seq: e.seq, fn: fn})
+	r := e.allocRec()
+	r.at = t
+	r.fn = fn
+	r.afn = afn
+	r.arg = arg
+	e.insertRec(r)
+	e.pending++
+	return handle{rec: r, gen: r.gen}
 }
 
-// After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
-
-// Pending reports the number of scheduled events not yet executed.
-func (e *Engine) Pending() int { return len(e.heap) }
-
-// Step executes the next event, if any, and reports whether one ran.
-func (e *Engine) Step() bool {
-	if len(e.heap) == 0 || e.stopped {
+// cancel drops a scheduled record if (and only if) the handle still
+// refers to it; a handle whose event already fired is a no-op.
+func (e *Engine) cancel(h handle) bool {
+	if h.rec == nil || h.rec.gen != h.gen {
 		return false
 	}
-	ev := e.heap.popEvent()
-	e.now = ev.at
-	e.Processed++
-	ev.fn()
+	if !e.unlink(h.rec) {
+		return false
+	}
+	e.pending--
+	e.freeRec(h.rec)
 	return true
 }
 
-// Stop halts the run loop after the current event returns.
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error in the model; it is clamped to Now so that simulations degrade
+// gracefully rather than travel backwards.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, fn, nil, nil) }
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.schedule(e.now+d, fn, nil, nil) }
+
+// AtArg schedules fn(arg) at absolute time t. Unlike At, it captures no
+// environment: hot paths keep one long-lived func(any) and pass the
+// per-event state as arg, so scheduling allocates nothing.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) { e.schedule(t, nil, fn, arg) }
+
+// AfterArg schedules fn(arg) to run d nanoseconds from now; see AtArg.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) { e.schedule(e.now+d, nil, fn, arg) }
+
+// --- dispatch ------------------------------------------------------------
+
+// dispatch fires a popped record. The record is freed before the callback
+// runs, so callbacks observe an engine whose pool already recycled their
+// own record (and may reschedule with zero allocations).
+func (e *Engine) dispatch(r *eventRec) {
+	e.now = r.at
+	e.Processed++
+	fn, afn, arg := r.fn, r.afn, r.arg
+	e.freeRec(r)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
+
+// Step executes the next event, if any, and reports whether one ran. Step
+// is not gated by Stop: a stopped engine resumes on the next Step, Run,
+// or RunUntil call.
+func (e *Engine) Step() bool {
+	r := e.popNext(maxTime)
+	if r == nil {
+		return false
+	}
+	e.dispatch(r)
+	return true
+}
+
+// Stop halts the currently running Run or RunUntil loop after the
+// in-flight event returns. It does not latch: subsequent Run, RunUntil,
+// or Step calls resume normally.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	for e.Step() {
+	e.stopped = false
+	for !e.stopped {
+		r := e.popNext(maxTime)
+		if r == nil {
+			break
+		}
+		e.dispatch(r)
 	}
+	e.stopped = false
 }
 
 // RunUntil executes events with timestamps <= end, then sets the clock to
-// end. Events scheduled beyond end remain queued.
+// end. Events scheduled beyond end remain queued. If Stop fires during
+// the loop, the clock stays at the last dispatched event.
 func (e *Engine) RunUntil(end Time) {
-	for len(e.heap) > 0 && !e.stopped && e.heap.peek().at <= end {
-		e.Step()
+	e.stopped = false
+	for !e.stopped {
+		r := e.popNext(end)
+		if r == nil {
+			break
+		}
+		e.dispatch(r)
 	}
 	if !e.stopped && e.now < end {
 		e.now = end
+		e.advanceCursorTo(end)
 	}
+	e.stopped = false
 }
 
 // Every schedules fn at period intervals starting at start until the
 // returned cancel function is invoked. fn runs before the next tick is
-// scheduled, so a callback may safely cancel its own ticker.
+// scheduled, so a callback may safely cancel its own ticker. Cancelling
+// unlinks the pending tick immediately: it stops counting in Pending and
+// releases everything the callback captured.
 func (e *Engine) Every(start, period Time, fn func()) (cancel func()) {
 	if period <= 0 {
 		panic("sim: Every requires a positive period")
 	}
-	stopped := false
-	var tick func()
-	tick = func() {
-		if stopped {
-			return
-		}
-		fn()
-		if !stopped {
-			e.After(period, tick)
-		}
+	t := &ticker{e: e, period: period, fn: fn}
+	t.h = e.schedule(start, nil, tickerFire, t)
+	return t.cancel
+}
+
+type ticker struct {
+	e       *Engine
+	period  Time
+	fn      func()
+	h       handle
+	stopped bool
+}
+
+// tickerFire is the shared dispatch trampoline for Every: one func value
+// for all tickers, so a tick reschedule allocates nothing.
+func tickerFire(arg any) {
+	t := arg.(*ticker)
+	if t.stopped {
+		return
 	}
-	e.At(start, tick)
-	return func() { stopped = true }
+	t.fn()
+	if !t.stopped {
+		t.h = t.e.schedule(t.e.now+t.period, nil, tickerFire, t)
+	}
+}
+
+func (t *ticker) cancel() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.e.cancel(t.h)
 }

@@ -26,10 +26,27 @@ func TestEngineOrdering(t *testing.T) {
 	}
 }
 
-// TestEngineDrainedHoldsNoEvents pins the memory behavior of the event
-// heap: popping an event must zero the vacated slot in the backing
-// array, otherwise a long run retains every popped fn closure (and the
-// object graph it captures) for the lifetime of the heap's capacity.
+// auditFreeList walks the engine's record pool and fails if any recycled
+// record still references a callback or its captures.
+func auditFreeList(t *testing.T, e *Engine) {
+	t.Helper()
+	n := 0
+	for r := e.freeList; r != nil; r = r.next {
+		n++
+		if r.fn != nil || r.afn != nil || r.arg != nil {
+			t.Fatalf("free-list record %d retains a closure (at=%v)", n, r.at)
+		}
+	}
+	if n != e.poolFree {
+		t.Fatalf("free list holds %d records, poolFree says %d", n, e.poolFree)
+	}
+}
+
+// TestEngineDrainedHoldsNoEvents pins the memory behavior of the record
+// pool: freeing a record must nil its fn/afn/arg immediately, otherwise
+// a long run retains every fired closure (and the object graph it
+// captures) for the lifetime of the pool — the same invariant the old
+// heap enforced by zeroing vacated slots.
 func TestEngineDrainedHoldsNoEvents(t *testing.T) {
 	e := NewEngine(1)
 	const n = 64
@@ -37,34 +54,17 @@ func TestEngineDrainedHoldsNoEvents(t *testing.T) {
 		payload := make([]byte, 1024) // captured by the closure
 		e.At(Time(i), func() { payload[0]++ })
 	}
-	grown := cap(e.heap)
-	if grown < n {
-		t.Fatalf("heap cap %d, want >= %d", grown, n)
-	}
 	e.Run()
 	if e.Pending() != 0 {
 		t.Fatalf("drained engine has %d pending events", e.Pending())
 	}
-	if len(e.heap) != 0 {
-		t.Fatalf("heap len %d after drain", len(e.heap))
-	}
-	// Every slot of the retained backing array must have been zeroed —
-	// a non-nil fn would keep its closure graph alive.
-	tail := e.heap[:cap(e.heap)]
-	for i, ev := range tail {
-		if ev.fn != nil {
-			t.Fatalf("slot %d of drained heap still references an event closure (at=%v seq=%d)", i, ev.at, ev.seq)
-		}
-		if ev.at != 0 || ev.seq != 0 {
-			t.Fatalf("slot %d not zeroed: %+v", i, ev)
-		}
-	}
+	auditFreeList(t, e)
 }
 
-// TestEngineInterleavedPopZeroing exercises the same invariant while the
-// heap is partially full: slots between len and cap must stay zero even
-// as pushes and pops interleave.
-func TestEngineInterleavedPopZeroing(t *testing.T) {
+// TestEngineInterleavedPoolZeroing exercises the same invariant while the
+// wheel is partially full: recycled records must drop their callbacks
+// even as schedules and dispatches interleave.
+func TestEngineInterleavedPoolZeroing(t *testing.T) {
 	e := NewEngine(1)
 	for i := 0; i < 16; i++ {
 		e.At(Time(i), func() {})
@@ -76,10 +76,180 @@ func TestEngineInterleavedPopZeroing(t *testing.T) {
 		e.At(Time(i), func() {})
 	}
 	e.Run()
-	for i, ev := range e.heap[:cap(e.heap)] {
-		if ev.fn != nil {
-			t.Fatalf("slot %d beyond len retains a closure", i)
+	auditFreeList(t, e)
+}
+
+// TestEngineSteadyStateZeroAlloc proves the tentpole guarantee: once the
+// record pool is warm, a schedule+dispatch cycle performs no heap
+// allocations — for After with a pre-built closure, for AfterArg, and
+// for a running Every ticker.
+func TestEngineSteadyStateZeroAlloc(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.After(1, fn)
+	e.Step() // warm the pool
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.After(3, fn)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("After+Step allocates %.2f objects per cycle, want 0", avg)
+	}
+	afn := func(any) {}
+	if avg := testing.AllocsPerRun(1000, func() {
+		e.AfterArg(3, afn, nil)
+		e.Step()
+	}); avg != 0 {
+		t.Fatalf("AfterArg+Step allocates %.2f objects per cycle, want 0", avg)
+	}
+	cancel := e.Every(e.Now()+1, 5, func() {})
+	defer cancel()
+	if avg := testing.AllocsPerRun(1000, func() { e.Step() }); avg != 0 {
+		t.Fatalf("Every tick allocates %.2f objects per cycle, want 0", avg)
+	}
+}
+
+// TestEngineStopThenRunUntilResumes is the regression test for the sticky
+// Stop bug: Stop must halt only the loop it interrupts. A later RunUntil
+// must dispatch normally and advance the clock to its bound.
+func TestEngineStopThenRunUntilResumes(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Every(0, 10, func() {
+		count++
+		if count == 3 {
+			e.Stop()
 		}
+	})
+	e.RunUntil(100)
+	if count != 3 {
+		t.Fatalf("count = %d before resume, want 3", count)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v at stop, want 20 (stop must not advance to the bound)", e.Now())
+	}
+	// The bug: stopped stayed latched, so this ran nothing and left the
+	// clock frozen at 20.
+	e.RunUntil(100)
+	if count != 11 { // ticks at 30,40,...,100
+		t.Fatalf("count = %d after resume, want 11", count)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v after resume, want 100", e.Now())
+	}
+	if !e.Step() {
+		t.Fatal("Step after Stop must dispatch the pending tick")
+	}
+}
+
+// TestEveryCancelDropsPendingTick is the regression test for ticker
+// cancellation: cancel must unlink the queued tick immediately — it no
+// longer counts in Pending, never increments Processed, and releases the
+// callback's captures back to the pool (mirroring the heap-Pop zeroing
+// fix of PR 2).
+func TestEveryCancelDropsPendingTick(t *testing.T) {
+	e := NewEngine(1)
+	payload := make([]byte, 1024)
+	cancel := e.Every(5, 10, func() { payload[0]++ })
+	e.RunUntil(20) // ticks at 5 and 15; next queued at 25
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d with ticker armed, want 1", e.Pending())
+	}
+	processed := e.Processed
+	cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0 (tick must be unlinked promptly)", e.Pending())
+	}
+	e.RunUntil(100)
+	if e.Processed != processed {
+		t.Fatalf("cancelled tick still dispatched (%d events after cancel)", e.Processed-processed)
+	}
+	auditFreeList(t, e)
+	cancel() // idempotent
+	if e.Pending() != 0 {
+		t.Fatal("double cancel corrupted pending count")
+	}
+}
+
+// TestEngineCancelSurvivesRecycling pins the generation guard: a stale
+// cancel whose record has already fired and been recycled into a new
+// event must not unlink the new event.
+func TestEngineCancelSurvivesRecycling(t *testing.T) {
+	e := NewEngine(1)
+	cancel := e.Every(5, 10, func() {})
+	e.RunUntil(6) // tick at 5 fired; its record is back in the pool
+	ran := false
+	e.At(8, func() { ran = true }) // likely reuses the recycled record
+	cancel()                       // must cancel the *new* pending tick only
+	e.RunUntil(20)
+	if !ran {
+		t.Fatal("stale ticker cancel unlinked an unrelated recycled event")
+	}
+}
+
+// TestEngineFarFutureAndOverflow schedules across every wheel level and
+// past the 2^32 ns horizon, checking order and clock behavior through
+// cascades and overflow pulls.
+func TestEngineFarFutureAndOverflow(t *testing.T) {
+	e := NewEngine(1)
+	times := []Time{
+		3, 200, 300, 70_000, 70_001, 9_000_000, 16_777_215, 16_777_216,
+		1 << 30, 1<<32 - 1, 1 << 32, 1<<32 + 5, 1 << 33, 1<<34 + 12345,
+	}
+	var got []Time
+	// Schedule in reverse so wheel placement, not schedule order, drives
+	// the firing order.
+	for i := len(times) - 1; i >= 0; i-- {
+		at := times[i]
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if len(got) != len(times) {
+		t.Fatalf("ran %d of %d events", len(got), len(times))
+	}
+	for i, at := range times {
+		if got[i] != at {
+			t.Fatalf("firing order %v, want %v", got, times)
+		}
+	}
+	if e.OverflowPending() != 0 {
+		t.Fatalf("overflow still holds %d records after drain", e.OverflowPending())
+	}
+}
+
+// TestEngineRunUntilAcrossCascade advances the clock in bounded steps
+// that land inside higher-level slots and across the overflow horizon;
+// events scheduled after each advance must still fire in order.
+func TestEngineRunUntilAcrossCascade(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	note := func(at Time) func() { return func() { got = append(got, at) } }
+	e.At(300, note(300))       // level 1
+	e.At(70_000, note(70_000)) // level 2
+	e.RunUntil(290)            // bounded: must not dispatch 300
+	if len(got) != 0 {
+		t.Fatalf("dispatched %v before bound", got)
+	}
+	if e.Now() != 290 {
+		t.Fatalf("clock = %v, want 290", e.Now())
+	}
+	e.At(295, note(295)) // lands between bound and the pending 300
+	e.RunUntil(1 << 33)
+	want := []Time{295, 300, 70_000}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Past the horizon: new events near now must still come before a
+	// far-future one scheduled earlier.
+	e.At(e.Now()+1<<32+7, note(-1))
+	e.At(e.Now()+10, note(-2))
+	e.Run()
+	if got[3] != -2 || got[4] != -1 {
+		t.Fatalf("post-horizon order wrong: %v", got[3:])
 	}
 }
 

@@ -43,6 +43,25 @@ func (s *Server) serialisation(size int) Time {
 // transfer fully completes (serialisation + fixed latency). Submit returns
 // the completion time.
 func (s *Server) Submit(size int, done func()) Time {
+	completion := s.clock(size)
+	if done != nil {
+		s.eng.At(completion, done)
+	}
+	return completion
+}
+
+// SubmitArg is the allocation-free variant of Submit: fn(arg) runs at
+// completion, so hot paths pass one long-lived func(any) plus per-item
+// state instead of capturing a fresh closure per transfer.
+func (s *Server) SubmitArg(size int, fn func(any), arg any) Time {
+	completion := s.clock(size)
+	s.eng.AtArg(completion, fn, arg)
+	return completion
+}
+
+// clock books a transfer through the serialisation stage and returns its
+// completion time.
+func (s *Server) clock(size int) Time {
 	now := s.eng.Now()
 	start := now
 	if s.busyUntil > start {
@@ -56,11 +75,7 @@ func (s *Server) Submit(size int, done func()) Time {
 	s.BusyTime += ser
 	s.ItemsServed++
 	s.BytesServed += uint64(size)
-	completion := s.busyUntil + s.latency
-	if done != nil {
-		s.eng.At(completion, done)
-	}
-	return completion
+	return s.busyUntil + s.latency
 }
 
 // QueueDelay reports how long a transfer submitted now would wait before

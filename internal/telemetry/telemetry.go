@@ -24,7 +24,7 @@
 //   - each segment matches [a-z][a-z0-9_]*;
 //   - counters end in "_total";
 //   - gauges end in a unit suffix: _bytes, _ratio, _ns, _mpps, _gbps,
-//     or _count;
+//     _count, or _meps;
 //   - histograms end in "_ns" (all recorded values are nanoseconds);
 //   - label keys match [a-z][a-z0-9_]*; label values are non-empty and
 //     free of quotes, backslashes, and newlines.
@@ -108,8 +108,9 @@ var (
 	labelRe   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 )
 
-// gaugeSuffixes are the unit suffixes the grammar admits for gauges.
-var gaugeSuffixes = []string{"_bytes", "_ratio", "_ns", "_mpps", "_gbps", "_count"}
+// gaugeSuffixes are the unit suffixes the grammar admits for gauges
+// (_meps is million simulation events per simulated second).
+var gaugeSuffixes = []string{"_bytes", "_ratio", "_ns", "_mpps", "_gbps", "_count", "_meps"}
 
 // ValidateName checks a metric name against the naming grammar for the
 // given kind. It is exported so CI and tests can enforce the grammar on
