@@ -143,6 +143,27 @@ func BenchmarkSimulatedPacketRate(b *testing.B) {
 	b.ReportMetric(float64(delivered)/float64(b.N), "pkts/op")
 }
 
+// BenchmarkMachineSteadyState drives the full machine hot path — emit,
+// DMA commit, LLC insert, pipelined CPU cost with state touches,
+// delivery — after warm-up, asserting via the CI -benchmem gate that the
+// per-packet path performs no allocation (buffer payloads ride in the
+// LLC's pooled LRU nodes; module state lines reuse the same pool).
+func BenchmarkMachineSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	sim := ceio.NewSimulator(ceio.DefaultConfig(), ceio.ArchCEIO)
+	for i := 1; i <= 4; i++ {
+		f := ceio.KVFlow(i, 256)
+		f.Pipeline = []string{"nat64", "firewall"}
+		sim.AddFlow(f)
+	}
+	sim.AddFlow(ceio.FileTransferFlow(5, 1024, 64))
+	sim.RunFor(2 * ceio.Millisecond) // reach pooled steady state
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunFor(10 * ceio.Microsecond)
+	}
+}
+
 // BenchmarkFleetEventThroughput measures raw event-dispatch throughput
 // (engine events per wall-clock second) on the 16-host rack scenario with
 // 3 flows per host — the schedule-heavy macro workload ROADMAP item 1

@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"ceio/internal/core"
+	"ceio/internal/dataplane"
 	"ceio/internal/iosys"
 	"ceio/internal/pkt"
 	"ceio/internal/sim"
@@ -101,6 +102,26 @@ const (
 	TenantStatic  = tenant.ModeStatic
 	TenantDynamic = tenant.ModeDynamic
 )
+
+// Dataplane module pipeline (internal/dataplane): set FlowSpec.Pipeline
+// to an ordered chain of module names and the flow's per-packet work
+// becomes the chain's cycle cost plus its state-table LLC accesses,
+// replacing CostModel.PerPacket (see DESIGN.md "Dataplane pipeline").
+type (
+	// ModuleSpec declares one dataplane module type (name, cycles,
+	// state working set).
+	ModuleSpec = dataplane.Spec
+)
+
+// DataplaneModules returns the valid FlowSpec.Pipeline module names.
+func DataplaneModules() []string { return dataplane.Names() }
+
+// DataplaneSpecs returns the built-in module catalog.
+func DataplaneSpecs() []ModuleSpec { return dataplane.Specs() }
+
+// ValidatePipeline checks a module chain for unknown or duplicate
+// names (the same validation AddFlow performs).
+func ValidatePipeline(names []string) error { return dataplane.ValidateChain(names) }
 
 // ParseTenantSpecs parses a CLI tenant layout like "kv=2,bulk=3".
 func ParseTenantSpecs(s string) ([]TenantSpec, error) { return tenant.ParseSpecs(s) }
@@ -232,6 +253,9 @@ type Snapshot struct {
 	// Cores holds per-core metrics when the machine is multi-queue
 	// (Config.Cores > 0), in queue order; nil otherwise.
 	Cores []CoreSnapshot
+	// Modules holds per-module dataplane pipeline metrics when any flow
+	// declares FlowSpec.Pipeline, in instantiation order; nil otherwise.
+	Modules []ModuleSnapshot
 }
 
 // TenantSnapshot is one tenant's slice of a Snapshot.
@@ -252,6 +276,16 @@ type CoreSnapshot struct {
 	BusyRatio   float64
 	LLCMissRate float64 // consume-side misses attributed to this core
 	CreditShare int     // CEIO's carved slice of C_total (0 on other arches)
+}
+
+// ModuleSnapshot is one dataplane module's slice of a Snapshot.
+type ModuleSnapshot struct {
+	Name            string
+	Flows           int // flows whose pipelines include the module
+	Packets         uint64
+	StateMissRate   float64 // state touches refilled from DRAM / all touches
+	ResidentBytes   int64   // state bytes currently in the LLC
+	WorkingSetBytes int64   // fixed footprint plus per-flow entries
 }
 
 // Snapshot captures the current aggregate metrics. Every value is read
@@ -296,6 +330,19 @@ func (s *Simulator) Snapshot() Snapshot {
 			CreditShare: int(reg.Value("core.ceio.credits.share_count", lbl)),
 		})
 	}
+	if s.m.Pipes != nil {
+		for _, mod := range s.m.Pipes.Modules() {
+			lbl := MetricLabel{Key: "module", Value: mod.Name}
+			sn.Modules = append(sn.Modules, ModuleSnapshot{
+				Name:            mod.Name,
+				Flows:           int(reg.Value("dataplane.module.flows.active_count", lbl)),
+				Packets:         uint64(reg.Value("dataplane.module.packets_total", lbl)),
+				StateMissRate:   reg.Value("dataplane.module.state.miss_ratio", lbl),
+				ResidentBytes:   int64(reg.Value("dataplane.module.state.resident_bytes", lbl)),
+				WorkingSetBytes: int64(reg.Value("dataplane.module.working_set_bytes", lbl)),
+			})
+		}
+	}
 	return sn
 }
 
@@ -314,6 +361,10 @@ func (sn Snapshot) String() string {
 		if c.CreditShare > 0 {
 			s += fmt.Sprintf(", credit share %d", c.CreditShare)
 		}
+	}
+	for _, md := range sn.Modules {
+		s += fmt.Sprintf("\n  module %-10s flows=%d  pkts=%d  state miss %.1f%%, resident %dKiB of %dKiB",
+			md.Name, md.Flows, md.Packets, md.StateMissRate*100, md.ResidentBytes>>10, md.WorkingSetBytes>>10)
 	}
 	return s
 }

@@ -12,7 +12,7 @@
 //
 // With no arguments it runs every experiment ("all"). Experiment names
 // follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
-// table4, limits, ablation, burst, tenants, cores, fleet.
+// table4, limits, ablation, burst, tenants, cores, pipelines, fleet.
 //
 // -faults arms a deterministic fault plan on every machine the
 // experiments build; -hosts and -kill-at narrow the fleet experiment's
@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ceio/internal/dataplane"
 	"ceio/internal/experiments"
 	"ceio/internal/faults"
 	"ceio/internal/runner"
@@ -85,6 +86,7 @@ func main() {
 	faultsPath := flag.String("faults", "", "JSON fault plan armed on every experiment machine: measure the tables under deterministic chaos")
 	hosts := flag.Int("hosts", 0, "restrict the fleet experiment to one rack size instead of the 4/8/16 sweep")
 	killAt := flag.Duration("kill-at", 0, "override the fleet experiment's host-0 crash time (simulated, absolute; 0 = a quarter into the window)")
+	pipeline := flag.String("pipeline", "", "restrict the pipelines experiment to one module composition, e.g. \"nat64,acl-trie,firewall\"")
 	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated sampling interval for tenants timeline tables (0 = off)")
 	timelineOut := flag.String("timeline-out", "", "write tenants timeline tables as CSV to this file instead of stdout (needs -sample-every)")
@@ -135,6 +137,17 @@ func main() {
 		// Machine.FaultPlan, so the rendered tables measure the paper's
 		// comparisons under the same deterministic chaos.
 		cfg.Machine.FaultPlan = &plan
+	}
+	if *pipeline != "" {
+		chain := strings.Split(*pipeline, ",")
+		for i := range chain {
+			chain[i] = strings.TrimSpace(chain[i])
+		}
+		if err := dataplane.ValidateChain(chain); err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-bench: %v (modules: %s)\n", err, strings.Join(dataplane.Names(), ", "))
+			os.Exit(2)
+		}
+		cfg.Pipeline = chain
 	}
 	if *tenantLayout != "" {
 		specs, err := tenant.ParseSpecs(*tenantLayout)

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ceio-sim -arch CEIO -kv 4 -dfs 2 -echo 2 -pkt 256 -dur 20ms
+//	ceio-sim -arch CEIO -kv 4 -dfs 2 -pipeline nat64,acl-trie,firewall
 //	ceio-sim -config scenario.json [-out json]
 //	ceio-sim -arch CEIO -kv 4 -faults examples/scenarios/chaos-storm.json
 //	ceio-sim -arch Baseline -kv 2 -dfs 2 -tenants kv=2,bulk=3 -tenants-mode dynamic
@@ -63,6 +64,7 @@ func main() {
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
 	faultsPath := flag.String("faults", "", "JSON fault plan: arm deterministic chaos injection + invariant auditing")
+	pipeline := flag.String("pipeline", "", "comma-separated dataplane module chain applied to kv/echo flows, e.g. \"nat64,acl-trie,firewall\" (see DESIGN.md)")
 	tenants := flag.String("tenants", "", "partition the DDIO LLC per tenant, e.g. \"kv=2,bulk=3\" (kv/echo flows -> first tenant, dfs -> second)")
 	tenantsMode := flag.String("tenants-mode", "dynamic", "tenant partition management: shared | static | dynamic")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated sampling interval for -series-out (0 = no sampling)")
@@ -112,6 +114,17 @@ func main() {
 	cfg := ceio.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Cores = *cores
+	var chain []string
+	if *pipeline != "" {
+		chain = strings.Split(*pipeline, ",")
+		for i := range chain {
+			chain[i] = strings.TrimSpace(chain[i])
+		}
+		if err := ceio.ValidatePipeline(chain); err != nil {
+			fmt.Fprintf(os.Stderr, "ceio-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	// Tenant tags for flag-built flows: CPU-involved flows (kv, echo) land
 	// in the first declared tenant, file transfers (dfs) in the second.
 	var involvedTenant, bypassTenant string
@@ -154,6 +167,7 @@ func main() {
 	for i := 0; i < *kv; i++ {
 		s := ceio.KVFlow(id, *pkt)
 		s.Tenant = involvedTenant
+		s.Pipeline = chain
 		sim.AddFlow(s)
 		id++
 	}
@@ -170,6 +184,7 @@ func main() {
 		}
 		s := ceio.EchoFlow(id, size)
 		s.Tenant = involvedTenant
+		s.Pipeline = chain
 		sim.AddFlow(s)
 		id++
 	}

@@ -1,0 +1,70 @@
+// pipelines demonstrates the dataplane module pipeline subsystem: four
+// RPC flows each run a 5G UPF + stateful-firewall chain (the heaviest
+// composition in the catalog, ~2MB of session state) while file-transfer
+// antagonists stream bulk chunks through the same LLC. On the unmanaged
+// baseline the antagonists' unbounded in-flight DMA evicts both the I/O
+// buffers and the modules' state tables, so most state touches pay a
+// DRAM refill and throughput collapses; CEIO's credit bound caps the
+// in-flight I/O footprint, leaving LLC capacity for the module working
+// sets — the state miss rate holds and packets clear the chain at a
+// fraction of the cost.
+//
+//	go run ./examples/pipelines [-rpc 4] [-bulk 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ceio"
+)
+
+func main() {
+	rpcN := flag.Int("rpc", 4, "RPC flows running the upf+firewall chain")
+	bulkN := flag.Int("bulk", 2, "antagonist file-transfer flows")
+	flag.Parse()
+
+	chain := []string{"upf", "firewall"}
+	fmt.Printf("%d RPC flows through %v vs %d bulk antagonists\n\n", *rpcN, chain, *bulkN)
+	fmt.Printf("%-10s %10s %10s %12s %14s\n",
+		"arch", "RPC Mpps", "I/O miss", "state miss", "state resident")
+
+	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchCEIO} {
+		sim := ceio.NewSimulator(ceio.DefaultConfig(), arch)
+		id := 1
+		for i := 0; i < *rpcN; i++ {
+			f := ceio.KVFlow(id, 144)
+			f.Pipeline = chain
+			sim.AddFlow(f)
+			id++
+		}
+		for i := 0; i < *bulkN; i++ {
+			sim.AddFlow(ceio.FileTransferFlow(id, 1024, 1024))
+			id++
+		}
+		sim.RunFor(10 * ceio.Millisecond)
+		sim.ResetMetrics()
+		sim.RunFor(25 * ceio.Millisecond)
+
+		sn := sim.Snapshot()
+		var hits, misses, resident, ws float64
+		for _, md := range sn.Modules {
+			reg := sim.Metrics()
+			lbl := ceio.MetricLabel{Key: "module", Value: md.Name}
+			hits += reg.Value("dataplane.module.state.hits_total", lbl)
+			misses += reg.Value("dataplane.module.state.misses_total", lbl)
+			resident += float64(md.ResidentBytes)
+			ws += float64(md.WorkingSetBytes)
+		}
+		stateMiss := 0.0
+		if hits+misses > 0 {
+			stateMiss = misses / (hits + misses)
+		}
+		fmt.Printf("%-10s %10.2f %9.1f%% %11.1f%% %8.0f/%.0fKiB\n",
+			arch, sn.InvolvedMpps, sn.LLCMissRate*100, stateMiss*100,
+			resident/1024, ws/1024)
+	}
+	fmt.Println("\nSame chain, same antagonists: only the I/O architecture differs. CEIO's")
+	fmt.Println("credit bound keeps the UPF session table resident; the baseline's unbounded")
+	fmt.Println("in-flight DMA streams it out of the LLC between packets.")
+}

@@ -19,8 +19,20 @@ type BufID uint64
 type node struct {
 	id         BufID
 	size       int64
+	payload    int64
 	part       int
 	prev, next *node
+}
+
+// Evicted describes one buffer pushed out of the LLC: its ID plus the
+// payload bytes recorded at insert, so the caller can charge the DRAM
+// writeback without keeping a side table of buffer sizes (the old
+// bufBytes map on the emit path).
+type Evicted struct {
+	ID BufID
+	// Payload is the dirty bytes to write back (the packet payload for
+	// I/O buffers; cache-line sized for dataplane state lines).
+	Payload int64
 }
 
 // PartStats counts one partition's cache events.
@@ -87,7 +99,7 @@ type LLC struct {
 	// evictScratch backs the eviction list InsertIOIn returns; the slice
 	// is reused on the next insert, which is safe because every caller
 	// consumes it before touching the cache again.
-	evictScratch []BufID
+	evictScratch []Evicted
 
 	// Statistics (sums over all partitions).
 	Insertions uint64
@@ -170,7 +182,7 @@ func (c *LLC) Partition(capacities []int64) error {
 // shrinking partition can no longer hold are evicted LRU-first — losing a
 // way flushes its resident lines — and returned; the eviction handler
 // also fires for each. Total capacity is conserved.
-func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []BufID) {
+func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []Evicted) {
 	if from == to {
 		panic(fmt.Sprintf("cache: MoveCapacity from partition %d to itself", from))
 	}
@@ -191,7 +203,7 @@ func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []BufID) {
 		c.occupancy -= victim.size
 		src.stats.Evictions++
 		c.Evictions++
-		evicted = append(evicted, victim.id)
+		evicted = append(evicted, Evicted{ID: victim.id, Payload: victim.payload})
 		if c.onEvict != nil {
 			c.onEvict(victim.id)
 		}
@@ -200,13 +212,13 @@ func (c *LLC) MoveCapacity(from, to int, bytes int64) (evicted []BufID) {
 	return evicted
 }
 
-func (c *LLC) allocNode(id BufID, size int64, part int) *node {
+func (c *LLC) allocNode(id BufID, size, payload int64, part int) *node {
 	n := c.freeNodes
 	if n == nil {
-		return &node{id: id, size: size, part: part}
+		return &node{id: id, size: size, payload: payload, part: part}
 	}
 	c.freeNodes = n.next
-	*n = node{id: id, size: size, part: part}
+	*n = node{id: id, size: size, payload: payload, part: part}
 	return n
 }
 
@@ -243,21 +255,31 @@ func (p *partition) unlink(n *node) {
 
 // InsertIO models a DDIO write into partition 0 (the whole region when
 // unpartitioned); see InsertIOIn.
-func (c *LLC) InsertIO(id BufID, size int64) (evicted []BufID) {
-	return c.InsertIOIn(0, id, size)
+func (c *LLC) InsertIO(id BufID, size int64) (evicted []Evicted) {
+	return c.InsertIOSized(0, id, size, size)
 }
 
-// InsertIOIn models a DDIO write of one I/O buffer into partition part.
-// If the partition is full, its least-recently-used buffers are evicted
-// to DRAM until the new buffer fits ("subsequent packets overwrite
-// earlier ones", §2.2). The evicted buffer IDs are returned (the eviction
-// handler also fires). Inserting an already-resident buffer refreshes it
-// to MRU within its home partition.
+// InsertIOIn is InsertIOSized with the payload equal to the cache
+// footprint (buffers whose dirty data fills their lines).
+func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []Evicted) {
+	return c.InsertIOSized(part, id, size, size)
+}
+
+// InsertIOSized models a DDIO write of one I/O buffer into partition
+// part. size is the cache footprint the buffer occupies (the pooled
+// buffer granularity); payload is the dirty bytes a later eviction must
+// write back (the packet payload), carried inside the LRU node so no
+// side table is needed. If the partition is full, its
+// least-recently-used buffers are evicted to DRAM until the new buffer
+// fits ("subsequent packets overwrite earlier ones", §2.2). The evicted
+// buffers are returned with their payloads (the eviction handler also
+// fires). Inserting an already-resident buffer refreshes it to MRU
+// within its home partition.
 //
 // The returned slice is valid only until the next insert: it is backed by
 // a scratch buffer reused across calls, so callers must consume it before
 // re-entering the cache (every datapath caller does so synchronously).
-func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
+func (c *LLC) InsertIOSized(part int, id BufID, size, payload int64) (evicted []Evicted) {
 	if size <= 0 {
 		panic(fmt.Sprintf("cache: insert of non-positive size %d", size))
 	}
@@ -271,7 +293,7 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		if c.onEvict != nil {
 			c.onEvict(id)
 		}
-		evicted = append(evicted, id)
+		evicted = append(evicted, Evicted{ID: id, Payload: payload})
 		c.evictScratch = evicted
 		return evicted
 	}
@@ -282,10 +304,11 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		p.occupancy += size - n.size
 		c.occupancy += size - n.size
 		n.size = size
+		n.payload = payload
 		p.unlink(n)
 		p.pushFront(n)
 	} else {
-		n := c.allocNode(id, size, part)
+		n := c.allocNode(id, size, payload, part)
 		c.entries[id] = n
 		p.pushFront(n)
 		p.occupancy += size
@@ -306,7 +329,7 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 		c.occupancy -= victim.size
 		p.stats.Evictions++
 		c.Evictions++
-		evicted = append(evicted, victim.id)
+		evicted = append(evicted, Evicted{ID: victim.id, Payload: victim.payload})
 		if c.onEvict != nil {
 			c.onEvict(victim.id)
 		}
@@ -314,6 +337,74 @@ func (c *LLC) InsertIOIn(part int, id BufID, size int64) (evicted []BufID) {
 	}
 	c.evictScratch = evicted
 	return evicted
+}
+
+// PayloadOf returns the payload bytes recorded for a resident buffer,
+// 0 when id is not resident.
+func (c *LLC) PayloadOf(id BufID) int64 {
+	if n, ok := c.entries[id]; ok {
+		return n.payload
+	}
+	return 0
+}
+
+// TouchState models a CPU access to one cache line of dataplane module
+// state (NAT tables, firewall connection entries, UPF sessions; see
+// internal/dataplane) living in the same LLC region the DDIO writes
+// land in. A resident line refreshes to MRU and reports a hit. A miss
+// fills the line into partition part — evicting LRU victims exactly
+// like a DDIO insert, which is how a heavy pipeline's working set
+// pushes I/O buffers out and inflates the I/O miss rate — and reports
+// the victims. Unlike InsertIOIn/ConsumeIn, TouchState does NOT bump
+// the LLC's Insertions/Hits/Misses counters: those count the I/O path
+// (DDIO writes and packet reads), and the paper's miss-ratio series
+// must keep meaning that. Callers (the dataplane engine) keep their own
+// per-module hit/miss counters. Eviction counters and the eviction
+// handler fire normally, since a line leaving the region is a real
+// eviction whatever displaced it.
+//
+// The returned slice shares the insert scratch buffer: consume it
+// before re-entering the cache. A line wider than the partition (a
+// zero-way carve) bypasses the cache: miss, nothing inserted.
+func (c *LLC) TouchState(part int, id BufID, size int64) (hit bool, evicted []Evicted) {
+	if size <= 0 {
+		panic(fmt.Sprintf("cache: state touch of non-positive size %d", size))
+	}
+	if n, ok := c.entries[id]; ok {
+		p := &c.parts[n.part]
+		p.unlink(n)
+		p.pushFront(n)
+		return true, nil
+	}
+	p := &c.parts[part]
+	if size > p.capacity {
+		return false, nil
+	}
+	n := c.allocNode(id, size, size, part)
+	c.entries[id] = n
+	p.pushFront(n)
+	p.occupancy += size
+	c.occupancy += size
+	evicted = c.evictScratch[:0]
+	for p.occupancy > p.capacity && p.tail != nil {
+		victim := p.tail
+		if victim.id == id && victim.prev == nil {
+			break
+		}
+		p.unlink(victim)
+		delete(c.entries, victim.id)
+		p.occupancy -= victim.size
+		c.occupancy -= victim.size
+		p.stats.Evictions++
+		c.Evictions++
+		evicted = append(evicted, Evicted{ID: victim.id, Payload: victim.payload})
+		if c.onEvict != nil {
+			c.onEvict(victim.id)
+		}
+		c.freeNode(victim)
+	}
+	c.evictScratch = evicted
+	return false, evicted
 }
 
 // Consume is ConsumeIn against partition 0 (miss attribution when the

@@ -54,8 +54,11 @@ func TestLLCLRUOrder(t *testing.T) {
 		t.Fatal("peek of resident should hit")
 	}
 	ev := c.InsertIO(4, 100)
-	if len(ev) != 1 || ev[0] != 2 {
+	if len(ev) != 1 || ev[0].ID != 2 {
 		t.Fatalf("evicted %v, want [2]", ev)
+	}
+	if ev[0].Payload != 100 {
+		t.Fatalf("evicted payload %d, want the size recorded at insert", ev[0].Payload)
 	}
 }
 
@@ -65,7 +68,7 @@ func TestLLCReinsertRefreshes(t *testing.T) {
 	c.InsertIO(2, 100)
 	c.InsertIO(1, 100) // refresh: 2 is now LRU
 	ev := c.InsertIO(3, 200)
-	if len(ev) != 1 || ev[0] != 2 {
+	if len(ev) != 1 || ev[0].ID != 2 {
 		t.Fatalf("evicted %v, want [2]", ev)
 	}
 	if c.Insertions != 3 { // reinsert does not double count
@@ -76,7 +79,7 @@ func TestLLCReinsertRefreshes(t *testing.T) {
 func TestLLCOversizeBypasses(t *testing.T) {
 	c := NewLLC(100)
 	ev := c.InsertIO(1, 200)
-	if len(ev) != 1 || ev[0] != 1 {
+	if len(ev) != 1 || ev[0].ID != 1 {
 		t.Fatalf("oversize insert should bypass, got %v", ev)
 	}
 	if c.Resident(1) || c.Occupancy() != 0 {

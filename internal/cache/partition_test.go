@@ -21,7 +21,7 @@ func TestPartitionBasics(t *testing.T) {
 	// Overflows partition 0 only: buffer 1 is its LRU victim, buffer 2 in
 	// partition 1 must survive.
 	ev := c.InsertIOIn(0, 3, 60)
-	if len(ev) != 1 || ev[0] != 1 {
+	if len(ev) != 1 || ev[0].ID != 1 {
 		t.Fatalf("expected partition-local eviction of buffer 1, got %v", ev)
 	}
 	if !c.Resident(2) || !c.Resident(3) {
@@ -75,7 +75,7 @@ func TestMoveCapacityEvicts(t *testing.T) {
 		c.InsertIOIn(0, id, 50) // fills partition 0 exactly
 	}
 	ev := c.MoveCapacity(0, 1, 100)
-	if len(ev) != 2 || ev[0] != 1 || ev[1] != 2 {
+	if len(ev) != 2 || ev[0].ID != 1 || ev[1].ID != 2 {
 		t.Fatalf("expected LRU eviction of buffers 1,2 on shrink, got %v", ev)
 	}
 	if c.PartCapacity(0) != 100 || c.PartCapacity(1) != 300 {
@@ -91,7 +91,7 @@ func TestMoveCapacityEvicts(t *testing.T) {
 	}
 	// A zero-capacity partition bypasses inserts instead of panicking.
 	ev = c.InsertIOIn(0, 9, 50)
-	if len(ev) != 1 || ev[0] != 9 || c.Resident(9) {
+	if len(ev) != 1 || ev[0].ID != 9 || c.Resident(9) {
 		t.Fatalf("insert into zero-way partition should bypass, got %v", ev)
 	}
 	if err := c.checkInvariants(); err != nil {
@@ -135,7 +135,7 @@ func TestPartitionOccupancySumProperty(t *testing.T) {
 				size := int64(64 * (1 + rng.Intn(40)))
 				for _, ev := range c.InsertIOIn(part, next, size) {
 					for i, id := range live {
-						if id == ev {
+						if id == ev.ID {
 							live = append(live[:i], live[i+1:]...)
 							break
 						}
@@ -176,7 +176,7 @@ func TestPartitionOccupancySumProperty(t *testing.T) {
 				}
 				for _, ev := range c.MoveCapacity(from, to, bytes) {
 					for i, id := range live {
-						if id == ev {
+						if id == ev.ID {
 							live = append(live[:i], live[i+1:]...)
 							break
 						}
@@ -214,7 +214,7 @@ func TestSinglePartitionMatchesLegacy(t *testing.T) {
 			switch rng.Intn(4) {
 			case 0, 1:
 				for _, ev := range c.InsertIO(id, int64(64*(1+rng.Intn(40)))) {
-					sig = append(sig, int64(ev))
+					sig = append(sig, int64(ev.ID))
 				}
 			case 2:
 				if c.Consume(id) {

@@ -167,6 +167,7 @@ func All(cfg Config) []Table {
 		one(Burstiness),
 		Tenants,
 		one(Cores),
+		one(Pipelines),
 		one(Fleet),
 	})
 }
@@ -200,6 +201,8 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 		return Tenants(cfg), true
 	case "cores":
 		return []Table{Cores(cfg)}, true
+	case "pipelines":
+		return []Table{Pipelines(cfg)}, true
 	case "fleet":
 		return []Table{Fleet(cfg)}, true
 	case "all":
@@ -210,5 +213,5 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 
 // Names lists the experiment identifiers ByName accepts.
 func Names() []string {
-	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "cores", "fleet", "all"}
+	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "cores", "pipelines", "fleet", "all"}
 }

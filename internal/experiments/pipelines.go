@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"strings"
+
+	"ceio/internal/iosys"
+	"ceio/internal/workload"
+)
+
+// pipelineCompositions are the module chains the pipelines experiment
+// sweeps, from a single light module to a full service chain. Working
+// sets grow left to right: nat64 alone fits comfortably beside the DDIO
+// region, while the 4-stage chain carries several MB of module state
+// that competes with in-flight I/O buffers for the same LLC ways.
+var pipelineCompositions = [][]string{
+	{"nat64"},
+	{"acl-trie", "firewall"},
+	{"upf", "firewall"},
+	{"nat64", "acl-linear", "vxlan", "upf"},
+}
+
+// Pipelines sweeps dataplane module compositions over the mixed
+// workload: four eRPC KV flows each running the composition's chain,
+// plus two LineFS bulk writers as DMA antagonists. The baseline's
+// unbounded in-flight I/O evicts both packet buffers and module state
+// tables, so heavy chains pay DRAM refills on most state touches; CEIO's
+// credit bound caps the I/O footprint, leaving LLC capacity for the
+// module working sets and holding both miss rates down (§2.2's
+// interference argument, extended to NF state).
+func Pipelines(cfg Config) Table {
+	tb := Table{
+		Title:  "Pipelines — dataplane module chains, 4 KV flows + 2 DFS antagonists",
+		Header: []string{"pipeline", "Baseline Mpps", "Baseline I/O miss", "Baseline state miss", "CEIO Mpps", "CEIO I/O miss", "CEIO state miss"},
+		Note:   "Each KV packet traverses the chain, paying module cycles plus state-table LLC accesses. Baseline DMA pressure evicts module state alongside I/O buffers; CEIO's credit bound leaves LLC room for the working sets.",
+	}
+	comps := pipelineCompositions
+	if len(cfg.Pipeline) > 0 {
+		comps = [][]string{cfg.Pipeline}
+	}
+	methods := []workload.Method{workload.MethodBaseline, workload.MethodCEIO}
+	type cell struct{ mpps, ioMiss, stateMiss float64 }
+	// Cells are (composition, method) with method innermost.
+	res := runCells(cfg, len(comps)*len(methods), func(i int, c Config) cell {
+		chain := comps[i/len(methods)]
+		m := iosys.NewMachine(c.Machine, workload.NewDatapath(methods[i%len(methods)]))
+		id := 1
+		for k := 0; k < 4; k++ {
+			spec := workload.ERPCKV(id, 144, workload.DPDK)
+			spec.Pipeline = chain
+			m.AddFlow(spec)
+			id++
+		}
+		for k := 0; k < 2; k++ {
+			m.AddFlow(workload.LineFS(id, 1024, 1024))
+			id++
+		}
+		measureWindow(m, c.Warmup, c.Measure)
+		return cell{
+			mpps:      m.InvolvedMeter.Mpps(m.Eng.Now()),
+			ioMiss:    m.LLC.MissRate(),
+			stateMiss: pipelineStateMiss(m),
+		}
+	})
+	for k, chain := range comps {
+		base, ceio := res[k*len(methods)], res[k*len(methods)+1]
+		tb.Rows = append(tb.Rows, []string{
+			strings.Join(chain, "+"),
+			statOf(base, func(r cell) float64 { return r.mpps }).f2(),
+			statOf(base, func(r cell) float64 { return r.ioMiss }).pct(),
+			statOf(base, func(r cell) float64 { return r.stateMiss }).pct(),
+			statOf(ceio, func(r cell) float64 { return r.mpps }).f2(),
+			statOf(ceio, func(r cell) float64 { return r.ioMiss }).pct(),
+			statOf(ceio, func(r cell) float64 { return r.stateMiss }).pct(),
+		})
+	}
+	return tb
+}
+
+// pipelineStateMiss aggregates the state-table miss rate across every
+// instantiated module on the machine.
+func pipelineStateMiss(m *iosys.Machine) float64 {
+	if m.Pipes == nil {
+		return 0
+	}
+	var hits, misses uint64
+	for _, mod := range m.Pipes.Modules() {
+		hits += mod.Hits
+		misses += mod.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(misses) / float64(hits+misses)
+}

@@ -73,6 +73,11 @@ type Config struct {
 	// the measurement window.
 	FleetKillAt sim.Time
 
+	// Pipeline, when non-empty, restricts the pipelines experiment to a
+	// single module composition instead of the built-in sweep (the bench
+	// -pipeline flag). Names must pass dataplane.ValidateChain.
+	Pipeline []string
+
 	// SampleEvery, when positive, attaches a telemetry sampler to the
 	// tenants experiment's measurement cells and appends per-scheme
 	// timeline tables (occupancy, ways, miss ratio over simulated time).

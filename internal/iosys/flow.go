@@ -3,6 +3,7 @@ package iosys
 import (
 	"fmt"
 
+	"ceio/internal/dataplane"
 	"ceio/internal/sim"
 	"ceio/internal/stats"
 	"ceio/internal/transport"
@@ -76,6 +77,13 @@ type FlowSpec struct {
 	// it to queue Queue-1 (ethtool-style indirection override). Non-zero
 	// values are an error on a single-core (Cores == 0) machine.
 	Queue int
+	// Pipeline names an ordered chain of dataplane modules (see
+	// internal/dataplane) that replaces Cost.PerPacket as the flow's
+	// application work: each packet pays every module's cycle cost plus
+	// its state-table cache accesses, charged against the LLC. Only valid
+	// on CPU-involved flows; nil or empty keeps the scalar cost path,
+	// byte for byte.
+	Pipeline []string
 }
 
 // Flow is the runtime state of one network flow.
@@ -97,6 +105,9 @@ type Flow struct {
 	// queue is the rx queue RSS (or an explicit pin) resolved at AddFlow;
 	// -1 on legacy single-core machines.
 	queue int
+	// pipe is the resolved dataplane module chain when FlowSpec.Pipeline
+	// is set; nil keeps the scalar Cost.PerPacket path.
+	pipe []*dataplane.Module
 
 	// Window accounting: bytes in flight (emitted, not yet delivered or
 	// dropped) and whether the generator is parked waiting for window.

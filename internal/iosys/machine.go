@@ -5,6 +5,7 @@ import (
 
 	"ceio/internal/bufpool"
 	"ceio/internal/cache"
+	"ceio/internal/dataplane"
 	"ceio/internal/faults"
 	"ceio/internal/flowsteer"
 	"ceio/internal/pcie"
@@ -63,6 +64,12 @@ type Machine struct {
 	NICMem *sim.Server // on-NIC DRAM
 	Steer  *flowsteer.Table
 
+	// Pipes hosts the dataplane module pipeline (internal/dataplane),
+	// instantiated lazily when the first flow with FlowSpec.Pipeline is
+	// added; nil on machines running only scalar-cost flows, which keeps
+	// the legacy path byte-identical.
+	Pipes *dataplane.Engine
+
 	// Tenants and TenantCtrl are non-nil when Config.Tenancy is set: the
 	// registry owns the per-tenant LLC partitions and accounting; the
 	// controller (armed only in ModeDynamic) repartitions ways on the
@@ -81,8 +88,7 @@ type Machine struct {
 	RSS    *flowsteer.RSS
 	queues []*Core
 
-	nextBuf  cache.BufID
-	bufBytes map[cache.BufID]int32
+	nextBuf cache.BufID
 
 	// PktPool recycles packet descriptors: emit draws from it and
 	// Deliver/Drop return to it, so the steady-state rx path allocates
@@ -167,22 +173,21 @@ func NewMachineOnEngine(eng *sim.Engine, cfg Config, dp Datapath) (*Machine, err
 		return nil, fmt.Errorf("iosys: building machine: %w", err)
 	}
 	m := &Machine{
-		Eng:      eng,
-		Cfg:      cfg,
-		LLC:      cache.NewLLC(cfg.LLCBytes),
-		Mem:      cache.NewMemory(eng, cfg.MemBandwidth, cfg.DRAMLatency),
-		IIO:      cache.NewIIO(cfg.IIOBytes),
-		Uncore:   sim.NewServer(eng, cfg.UncoreBW, 0),
-		ToHost:   pcie.NewLink(eng, cfg.HostLink),
-		ToNIC:    pcie.NewLink(eng, cfg.HostLink),
-		RxWire:   sim.NewServer(eng, cfg.LinkBandwidth, 0),
-		NICMem:   sim.NewServer(eng, cfg.NICMemBandwidth, 0),
-		Steer:    flowsteer.NewTable(),
-		DP:       dp,
-		Flows:    make(map[int]*Flow),
-		cores:    make(map[int]*Core),
-		bufBytes: make(map[cache.BufID]int32),
-		PktPool:  pkt.NewPool(),
+		Eng:     eng,
+		Cfg:     cfg,
+		LLC:     cache.NewLLC(cfg.LLCBytes),
+		Mem:     cache.NewMemory(eng, cfg.MemBandwidth, cfg.DRAMLatency),
+		IIO:     cache.NewIIO(cfg.IIOBytes),
+		Uncore:  sim.NewServer(eng, cfg.UncoreBW, 0),
+		ToHost:  pcie.NewLink(eng, cfg.HostLink),
+		ToNIC:   pcie.NewLink(eng, cfg.HostLink),
+		RxWire:  sim.NewServer(eng, cfg.LinkBandwidth, 0),
+		NICMem:  sim.NewServer(eng, cfg.NICMemBandwidth, 0),
+		Steer:   flowsteer.NewTable(),
+		DP:      dp,
+		Flows:   make(map[int]*Flow),
+		cores:   make(map[int]*Core),
+		PktPool: pkt.NewPool(),
 	}
 	m.DMA = pcie.NewEngine(eng, m.ToHost, m.ToNIC, m.IIO, cfg.DMACredits)
 	if cfg.Cores > 0 {
@@ -317,6 +322,15 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 	if spec.MsgPkts < 1 {
 		spec.MsgPkts = 1
 	}
+	if len(spec.Pipeline) > 0 {
+		if spec.Kind != CPUInvolved {
+			return nil, fmt.Errorf("iosys: adding flow %d: pipeline %v on a %s flow (modules run on the polling core; only cpu-involved flows have one)",
+				spec.ID, spec.Pipeline, spec.Kind)
+		}
+		if err := dataplane.ValidateChain(spec.Pipeline); err != nil {
+			return nil, fmt.Errorf("iosys: adding flow %d: %w", spec.ID, err)
+		}
+	}
 	rate := spec.InitialRate
 	if rate <= 0 {
 		rate = m.Cfg.LinkBandwidth / float64(len(m.Flows)+1)
@@ -346,6 +360,23 @@ func (m *Machine) AddFlowE(spec FlowSpec) (*Flow, error) {
 		return nil, fmt.Errorf("iosys: adding flow %d: queue %d requested but machine has no multi-queue rx path (Cores == 0)", spec.ID, spec.Queue)
 	}
 	f := &Flow{FlowSpec: spec, m: m, active: true, tenantIdx: tenantIdx, part: part, queue: queue}
+	if len(spec.Pipeline) > 0 {
+		// The chain was validated above, so resolution cannot fail; any
+		// first-seen modules register their telemetry series here (the
+		// sampler picks up late registrations at its next tick).
+		if m.Pipes == nil {
+			m.Pipes = dataplane.NewEngine(m.LLC, m.Mem, m.Cfg.LLCHitLatency, m.writebackEvicted)
+			m.registerPipelineMetrics()
+		}
+		chain, created, err := m.Pipes.Resolve(spec.Pipeline)
+		if err != nil {
+			return nil, fmt.Errorf("iosys: adding flow %d: %w", spec.ID, err)
+		}
+		f.pipe = chain
+		for _, mod := range created {
+			m.registerModuleMetrics(mod)
+		}
+	}
 	ccCfg := m.Cfg.CC
 	if spec.FixedRate {
 		// UD-style traffic: the sender holds its rate regardless of
@@ -412,6 +443,9 @@ func (m *Machine) RemoveFlow(id int) {
 	m.DP.FlowRemoved(f)
 	if m.Tenants != nil {
 		m.Tenants.FlowRemoved(f.tenantIdx)
+	}
+	if f.pipe != nil {
+		m.Pipes.FlowDetached(f.pipe)
 	}
 	delete(m.Flows, id)
 }
@@ -541,7 +575,6 @@ func (m *Machine) emit(f *Flow) {
 	}
 	f.Generated++
 	f.inFlight += int64(p.Size + m.Cfg.EthOverhead)
-	m.bufBytes[p.Buf] = int32(p.Size)
 
 	// Wire serialisation through the shared 200 Gbps port. ECN marking
 	// fires when the port backlog exceeds the DCTCP threshold.
@@ -647,7 +680,7 @@ func dmaArrived(arg any, w *pcie.Write) {
 	if lines := int64((p.Size + 63) &^ 63); lines > occ {
 		occ = lines
 	}
-	evicted := m.LLC.InsertIOIn(p.Part, p.Buf, occ)
+	evicted := m.LLC.InsertIOSized(p.Part, p.Buf, occ, int64(p.Size))
 	// Evicted dirty lines write back to DRAM asynchronously, charging
 	// memory bandwidth (and thereby inflating CPU miss latency and
 	// slowing bulk moves) without stalling the DDIO commit itself.
@@ -671,16 +704,25 @@ func dmaCommitted(arg any) {
 }
 
 // writebackEvicted charges DRAM writebacks for buffers evicted from the
-// LLC (DDIO insert overflow or tenant way reassignment) and forgets
-// their size records.
-func (m *Machine) writebackEvicted(evicted []cache.BufID) {
-	for _, id := range evicted {
-		size := int(m.bufBytes[id])
+// LLC (DDIO insert overflow, dataplane state pressure, or tenant way
+// reassignment). Payload sizes ride in the LRU nodes (cache.Evicted),
+// replacing the per-buffer side map the emit path used to maintain.
+func (m *Machine) writebackEvicted(evicted []cache.Evicted) {
+	for _, e := range evicted {
+		if dataplane.IsStateLine(e.ID) {
+			// Module state lines are read-mostly: eviction is free, the
+			// cost is the refill DRAM access at the next touch. The
+			// pipeline engine keeps its residency gauge in step.
+			if m.Pipes != nil {
+				m.Pipes.StateEvicted(e.ID)
+			}
+			continue
+		}
+		size := int(e.Payload)
 		if size == 0 {
 			size = m.Cfg.IOBufSize
 		}
 		m.Mem.Writeback(size)
-		delete(m.bufBytes, id)
 	}
 }
 
@@ -700,11 +742,6 @@ func (m *Machine) Deliver(f *Flow, p *pkt.Packet) {
 	}
 	if m.Tenants != nil {
 		m.Tenants.RecordDelivery(f.tenantIdx, p.Size)
-	}
-	if !m.LLC.Resident(p.Buf) {
-		// Retired-but-resident bypass lines keep their size record until
-		// eviction writes them back; everything else is done with it.
-		delete(m.bufBytes, p.Buf)
 	}
 	m.releaseHostBuf(p)
 	f.inFlight -= int64(p.Size + m.Cfg.EthOverhead)
@@ -726,7 +763,6 @@ func (m *Machine) Drop(f *Flow, p *pkt.Packet) {
 	f.Drops++
 	m.TotalDrops++
 	m.LLC.Drop(p.Buf)
-	delete(m.bufBytes, p.Buf)
 	f.inFlight -= int64(p.Size + m.Cfg.EthOverhead)
 	m.releaseHostBuf(p)
 	m.Trace(trace.KindDropped, p.FlowID, p.Seq)
@@ -741,8 +777,10 @@ func (m *Machine) DropNoHostBuf(f *Flow, p *pkt.Packet) {
 	m.Drop(f, p)
 }
 
-// BufSize returns the payload size recorded for a buffer (0 if unknown).
-func (m *Machine) BufSize(id cache.BufID) int { return int(m.bufBytes[id]) }
+// BufSize returns the payload size recorded for a resident buffer (0
+// once it is consumed, dropped, or evicted; the record lives in the
+// LLC's LRU node).
+func (m *Machine) BufSize(id cache.BufID) int { return int(m.LLC.PayloadOf(id)) }
 
 // ConsumeBypass models the memory-controller side of a CPU-bypass packet
 // that landed in the LLC (path ② of Figure 3): the DFS/RDMA consumer
@@ -802,7 +840,15 @@ func (m *Machine) PacketCPUCost(f *Flow, p *pkt.Packet) sim.Time {
 			c += m.Mem.AccessLatency(p.Size)
 		}
 	}
-	c += f.Cost.PerPacket
+	if f.pipe != nil {
+		// The module chain replaces the scalar application cost: cycles
+		// plus per-touch state accesses charged against the LLC (state
+		// refills under pressure evict I/O buffers, coupling pipeline
+		// weight to the I/O miss rate).
+		c += m.Pipes.PacketCost(f.pipe, f.part, f.ID, p.Seq)
+	} else {
+		c += f.Cost.PerPacket
+	}
 	if !f.Cost.ZeroCopy && f.Cost.CopyBandwidth > 0 {
 		c += sim.Time(float64(p.Size) / (f.Cost.CopyBandwidth / 1e9))
 		if f.Cost.AppBufMissRate > 0 && m.Eng.Rand().Float64() < f.Cost.AppBufMissRate {
@@ -838,6 +884,9 @@ func (m *Machine) ResetWindow() {
 	m.LLC.ResetStats()
 	if m.Tenants != nil {
 		m.Tenants.ResetWindow(now)
+	}
+	if m.Pipes != nil {
+		m.Pipes.ResetWindow()
 	}
 }
 

@@ -3,6 +3,7 @@ package iosys
 import (
 	"strconv"
 
+	"ceio/internal/dataplane"
 	"ceio/internal/telemetry"
 )
 
@@ -211,4 +212,41 @@ func (m *Machine) registerMetrics() {
 				func() float64 { return llc.QueueStats(q).MissRate() }, lbl)
 		}
 	}
+}
+
+// registerPipelineMetrics publishes the dataplane engine's aggregate
+// series. Called once, when the first pipelined flow instantiates the
+// engine; the sampler tolerates late registration (new series join at
+// the current tick).
+func (m *Machine) registerPipelineMetrics() {
+	e := m.Pipes
+	m.Reg.Counter("dataplane.busy_ns_total", "Nanoseconds of application service time charged through module pipelines.",
+		func() uint64 { return uint64(e.TotalBusy) })
+	m.Reg.Gauge("dataplane.state.resident_bytes", "Module state bytes currently resident in the LLC, all modules.",
+		func() float64 { return float64(e.ResidentBytes()) })
+	m.Reg.Gauge("dataplane.modules.active_count", "Dataplane modules instantiated on this machine.",
+		func() float64 { return float64(len(e.Modules())) })
+}
+
+// registerModuleMetrics publishes one module's series, labelled
+// module="<name>", when a flow's chain instantiates it.
+func (m *Machine) registerModuleMetrics(mod *dataplane.Module) {
+	reg := m.Reg
+	lbl := telemetry.L("module", mod.Name)
+	reg.Counter("dataplane.module.packets_total", "Packets processed by the module.",
+		func() uint64 { return mod.Packets }, lbl)
+	reg.Counter("dataplane.module.busy_ns_total", "Service time charged by the module: cycles plus state-access stalls.",
+		func() uint64 { return uint64(mod.Busy) }, lbl)
+	reg.Counter("dataplane.module.state.hits_total", "Module state touches served from the LLC.",
+		func() uint64 { return mod.Hits }, lbl)
+	reg.Counter("dataplane.module.state.misses_total", "Module state touches refilled from DRAM.",
+		func() uint64 { return mod.Misses }, lbl)
+	reg.Gauge("dataplane.module.state.miss_ratio", "The module's window state miss ratio.",
+		mod.MissRate, lbl)
+	reg.Gauge("dataplane.module.state.resident_bytes", "The module's state bytes currently resident in the LLC.",
+		func() float64 { return float64(mod.Resident) }, lbl)
+	reg.Gauge("dataplane.module.working_set_bytes", "The module's current state working set (fixed footprint plus per-flow entries).",
+		func() float64 { return float64(mod.WorkingSetBytes()) }, lbl)
+	reg.Gauge("dataplane.module.flows.active_count", "Flows whose pipelines include the module.",
+		func() float64 { return float64(mod.Flows()) }, lbl)
 }

@@ -24,6 +24,7 @@ import (
 	"io"
 	"sort"
 
+	"ceio/internal/dataplane"
 	"ceio/internal/iosys"
 	"ceio/internal/render"
 	"ceio/internal/sim"
@@ -50,6 +51,10 @@ type FlowSpec struct {
 	// Queue pins the flow to an rx queue on a multi-core scenario
 	// (requires "cores"): 0 lets the RSS hash place it, 1..cores pins it.
 	Queue int `json:"queue,omitempty"`
+	// Pipeline names an ordered chain of dataplane modules (see
+	// internal/dataplane) replacing the flow's scalar per-packet cost,
+	// e.g. ["nat64", "acl-trie", "firewall"]. CPU-involved kinds only.
+	Pipeline []string `json:"pipeline,omitempty"`
 }
 
 // Spec is a complete scenario.
@@ -166,6 +171,15 @@ func buildSpec(f FlowSpec) (iosys.FlowSpec, error) {
 	}
 	spec.FixedRate = f.FixedRate
 	spec.Queue = f.Queue
+	if len(f.Pipeline) > 0 {
+		if spec.Kind != iosys.CPUInvolved {
+			return spec, fmt.Errorf("scenario: flow %d kind %q is CPU-bypass and cannot carry a pipeline", f.ID, f.Kind)
+		}
+		if err := dataplane.ValidateChain(f.Pipeline); err != nil {
+			return spec, fmt.Errorf("scenario: flow %d: %w", f.ID, err)
+		}
+		spec.Pipeline = f.Pipeline
+	}
 	return spec, nil
 }
 

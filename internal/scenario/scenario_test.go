@@ -61,6 +61,8 @@ func TestValidateErrors(t *testing.T) {
 		`{"arch":"CEIO","duration_ms":1,"flows":[{"id":1,"kind":"rpc"},{"id":1,"kind":"echo"}]}`,
 		`{"arch":"CEIO","duration_ms":1,"flows":[{"id":1,"kind":"wat"}]}`,
 		`{"arch":"CEIO","duration_ms":1,"flows":[{"id":1,"kind":"rpc","start_ms":2,"stop_ms":1}]}`,
+		`{"arch":"CEIO","duration_ms":1,"flows":[{"id":1,"kind":"rpc","pipeline":["wat"]}]}`,
+		`{"arch":"CEIO","duration_ms":1,"flows":[{"id":1,"kind":"dfs","pipeline":["nat64"]}]}`,
 	}
 	for i, c := range cases {
 		if _, err := Load(strings.NewReader(c)); err == nil {
@@ -92,6 +94,27 @@ func TestAllKindsAndRates(t *testing.T) {
 		if fr.ID == 5 && (fr.Gbps < 3 || fr.Gbps > 6) {
 			t.Fatalf("fixed-rate flow delivered %.2f Gbps, want ~5", fr.Gbps)
 		}
+	}
+}
+
+func TestPipelineScenario(t *testing.T) {
+	spec, err := Load(strings.NewReader(`{
+	  "arch": "CEIO",
+	  "duration_ms": 2,
+	  "flows": [
+	    {"id": 1, "kind": "rpc", "pkt_size": 144, "pipeline": ["nat64", "firewall"]},
+	    {"id": 2, "kind": "dfs", "pkt_size": 1024, "chunk_pkts": 64}
+	  ]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalMpps <= 0 {
+		t.Fatalf("pipelined scenario delivered nothing: %+v", res)
 	}
 }
 

@@ -33,7 +33,7 @@ func FuzzRepartition(f *testing.F) {
 		if err != nil {
 			t.Fatalf("registry rejected a valid layout: %v", err)
 		}
-		r.SetEvictSink(func([]cache.BufID) {})
+		r.SetEvictSink(func([]cache.Evicted) {})
 		ctrl := NewController(r)
 
 		parts := llc.Partitions()

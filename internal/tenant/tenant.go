@@ -268,7 +268,7 @@ type Registry struct {
 	sharedMask uint64
 	// evictSink, if set, receives buffers flushed by way movement so the
 	// machine can charge their DRAM writebacks.
-	evictSink func([]cache.BufID)
+	evictSink func([]cache.Evicted)
 
 	// WaysMoved counts way reassignments (dynamic mode).
 	WaysMoved uint64
@@ -440,7 +440,7 @@ func (r *Registry) Credits(index, bufSize int) int {
 
 // SetEvictSink registers the callback receiving buffers flushed when a
 // way moves between partitions (the machine charges their writebacks).
-func (r *Registry) SetEvictSink(fn func([]cache.BufID)) { r.evictSink = fn }
+func (r *Registry) SetEvictSink(fn func([]cache.Evicted)) { r.evictSink = fn }
 
 // moveWay reassigns one way from a donor to a grantee, flushing the
 // lines the donor can no longer hold. Either side may be the shared pool

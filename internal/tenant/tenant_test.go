@@ -305,7 +305,11 @@ func TestMoveWayEvictSink(t *testing.T) {
 		t.Fatal(err)
 	}
 	var flushed []cache.BufID
-	r.SetEvictSink(func(ids []cache.BufID) { flushed = append(flushed, ids...) })
+	r.SetEvictSink(func(evs []cache.Evicted) {
+		for _, e := range evs {
+			flushed = append(flushed, e.ID)
+		}
+	})
 	kv, _ := r.Lookup("kv")
 	// Fill kv's partition completely, then take a way from it.
 	wb := r.WayBytes()

@@ -54,6 +54,19 @@ func allRegistries(t *testing.T) []*ceio.MetricsRegistry {
 		t.Fatalf("multi-queue CEIO: %v", err)
 	}
 	regs = append(regs, s.Metrics())
+	// A pipelined flow: the dataplane.* engine and per-module series only
+	// register once a flow declares FlowSpec.Pipeline.
+	pcfg := ceio.DefaultConfig()
+	ps, err := ceio.NewSimulatorE(pcfg, ceio.ArchCEIO)
+	if err != nil {
+		t.Fatalf("pipelined CEIO: %v", err)
+	}
+	spec := ceio.KVFlow(1, 144)
+	spec.Pipeline = []string{"nat64", "firewall"}
+	if _, err := ps.AddFlowE(spec); err != nil {
+		t.Fatalf("pipelined flow: %v", err)
+	}
+	regs = append(regs, ps.Metrics())
 	// A rack behind the failover balancer: the fleet.* series live in the
 	// fleet-level registry, not any single host's.
 	fcfg := ceio.DefaultFleetConfig(2, ceio.ArchCEIO)

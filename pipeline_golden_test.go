@@ -1,0 +1,120 @@
+package ceio_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ceio"
+)
+
+// The legacy-path golden suite pins the exact output of simulations that
+// do NOT use FlowSpec.Pipeline. The golden files under testdata/ were
+// captured before the dataplane pipeline subsystem existed; a machine
+// with Pipeline unset must keep reproducing them byte for byte (the same
+// discipline as the PR 5 Cores=1 pinned diff). Regenerate deliberately
+// with: go test -run TestLegacyPathGolden -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// legacyRun runs one fixed-seed legacy (pipeline-free) scenario and
+// renders everything event-level divergence would perturb: the full
+// report, the engine's event count, and the delivery count.
+func legacyRun(t *testing.T, name string) string {
+	t.Helper()
+	cfg := ceio.DefaultConfig()
+	var arch ceio.Architecture
+	switch name {
+	case "baseline":
+		arch = ceio.ArchBaseline
+	case "ceio":
+		arch = ceio.ArchCEIO
+	case "tenants":
+		arch = ceio.ArchCEIO
+		cfg.Tenancy = &ceio.TenancyConfig{
+			Mode: ceio.TenantDynamic,
+			Specs: []ceio.TenantSpec{
+				{ID: "kv", Ways: 3},
+				{ID: "bulk", Ways: 3},
+			},
+		}
+	default:
+		t.Fatalf("unknown legacy golden scenario %q", name)
+	}
+	s, err := ceio.NewSimulatorE(cfg, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv := ceio.KVFlow(1, 144)
+	dfs := ceio.FileTransferFlow(2, 1024, 64)
+	if name == "tenants" {
+		kv.Tenant = "kv"
+		dfs.Tenant = "bulk"
+	}
+	s.AddFlow(kv)
+	s.AddFlow(dfs)
+	s.RunFor(5 * ceio.Millisecond)
+	var sb strings.Builder
+	ceio.WriteReport(&sb, s)
+	reg := s.Metrics()
+	fmt.Fprintf(&sb, "events=%d delivered=%d evictions=%d writebacks=%d\n",
+		uint64(reg.Value("sim.events_total")),
+		uint64(reg.Value("iosys.delivered.packets_total")),
+		uint64(reg.Value("cache.llc.evictions_total")),
+		uint64(reg.Value("cache.mem.writebacks_total")))
+	return sb.String()
+}
+
+// TestLegacyPathGolden proves the pre-pipeline scalar path is untouched:
+// flows with Pipeline == nil produce byte-identical reports, event
+// counts, and writeback totals to the outputs captured before this
+// subsystem landed.
+func TestLegacyPathGolden(t *testing.T) {
+	for _, name := range []string{"baseline", "ceio", "tenants"} {
+		t.Run(name, func(t *testing.T) {
+			got := legacyRun(t, name)
+			path := filepath.Join("testdata", "legacy_"+name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden to capture): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("legacy %s output diverged from pre-pipeline golden:\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+			}
+		})
+	}
+}
+
+// TestLegacyPathEmptyPipeline pins the nil/empty equivalence: an empty
+// (non-nil, zero-length) Pipeline slice must behave exactly like an
+// unset one, so JSON scenarios with "pipeline": [] stay on the scalar
+// path.
+func TestLegacyPathEmptyPipeline(t *testing.T) {
+	run := func(pipeline []string) string {
+		cfg := ceio.DefaultConfig()
+		s := ceio.NewSimulator(cfg, ceio.ArchCEIO)
+		spec := ceio.KVFlow(1, 144)
+		spec.Pipeline = pipeline
+		s.AddFlow(spec)
+		s.AddFlow(ceio.FileTransferFlow(2, 1024, 64))
+		s.RunFor(2 * ceio.Millisecond)
+		var sb strings.Builder
+		ceio.WriteReport(&sb, s)
+		fmt.Fprintf(&sb, "events=%d", uint64(s.Metrics().Value("sim.events_total")))
+		return sb.String()
+	}
+	if got, want := run([]string{}), run(nil); got != want {
+		t.Errorf("empty pipeline diverges from nil pipeline:\n--- nil ---\n%s\n--- empty ---\n%s", want, got)
+	}
+}
