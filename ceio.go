@@ -31,6 +31,7 @@ import (
 	"ceio/internal/dataplane"
 	"ceio/internal/iosys"
 	"ceio/internal/pkt"
+	"ceio/internal/rdca"
 	"ceio/internal/sim"
 	"ceio/internal/tenant"
 	"ceio/internal/workload"
@@ -132,13 +133,24 @@ func ParseTenantMode(s string) (TenantMode, error) { return tenant.ParseMode(s) 
 // Architecture selects the I/O datapath under test.
 type Architecture string
 
-// The four architectures of the paper's evaluation.
+// The four architectures of the paper's evaluation, plus RDCA — the
+// receiver-driven cache-residency contender from the RDCA line of work
+// (PAPERS.md): bounded in-flight window sized to the flow's LLC
+// partition with aggressive buffer recycling, no elastic on-NIC buffer.
 const (
 	ArchBaseline Architecture = Architecture(workload.MethodBaseline)
 	ArchHostCC   Architecture = Architecture(workload.MethodHostCC)
 	ArchShRing   Architecture = Architecture(workload.MethodShRing)
 	ArchCEIO     Architecture = Architecture(workload.MethodCEIO)
+	ArchRDCA     Architecture = Architecture(workload.MethodRDCA)
 )
+
+// RDCAOptions tune the RDCA datapath (window bounds, residency target,
+// controller period, fixed-window sweeps).
+type RDCAOptions = rdca.Options
+
+// DefaultRDCAOptions returns the receiver-driven RDCA defaults.
+func DefaultRDCAOptions() RDCAOptions { return rdca.DefaultOptions() }
 
 // Simulator drives one simulated receiver host.
 type Simulator struct {
@@ -188,6 +200,36 @@ func NewCEIOSimulatorE(cfg Config, opts CEIOOptions) (*Simulator, error) {
 		return nil, err
 	}
 	return &Simulator{m: m, dp: dp}, nil
+}
+
+// NewRDCASimulator builds a machine running the RDCA datapath with
+// explicit options (fixed-window sweeps, residency target, controller
+// period). Invalid configurations panic; see NewRDCASimulatorE.
+func NewRDCASimulator(cfg Config, opts RDCAOptions) *Simulator {
+	s, err := NewRDCASimulatorE(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewRDCASimulatorE is NewRDCASimulator with invalid configurations
+// reported as errors instead of panics.
+func NewRDCASimulatorE(cfg Config, opts RDCAOptions) (*Simulator, error) {
+	dp := rdca.New(opts)
+	m, err := iosys.NewMachineE(cfg, dp)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{m: m, dp: dp}, nil
+}
+
+// RDCA returns the RDCA datapath when this simulator runs one, else nil.
+func (s *Simulator) RDCA() *rdca.RDCA {
+	if d, ok := s.dp.(*rdca.RDCA); ok {
+		return d
+	}
+	return nil
 }
 
 // Machine exposes the underlying machine for advanced inspection

@@ -12,7 +12,8 @@
 //
 // With no arguments it runs every experiment ("all"). Experiment names
 // follow the paper: fig4, fig9, fig10, fig11, fig12, table2, table3,
-// table4, limits, ablation, burst, tenants, cores, pipelines, fleet.
+// table4, limits, ablation, burst, tenants, cores, pipelines, fleet,
+// rdca.
 //
 // -faults arms a deterministic fault plan on every machine the
 // experiments build; -hosts and -kill-at narrow the fleet experiment's
@@ -87,6 +88,7 @@ func main() {
 	hosts := flag.Int("hosts", 0, "restrict the fleet experiment to one rack size instead of the 4/8/16 sweep")
 	killAt := flag.Duration("kill-at", 0, "override the fleet experiment's host-0 crash time (simulated, absolute; 0 = a quarter into the window)")
 	pipeline := flag.String("pipeline", "", "restrict the pipelines experiment to one module composition, e.g. \"nat64,acl-trie,firewall\"")
+	rdcaWindow := flag.Int("rdca-window", 0, "restrict the rdca experiment's fixed-window sweep to one width in I/O buffers (0 = built-in sweep)")
 	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
 	sampleEvery := flag.Duration("sample-every", 0, "simulated sampling interval for tenants timeline tables (0 = off)")
 	timelineOut := flag.String("timeline-out", "", "write tenants timeline tables as CSV to this file instead of stdout (needs -sample-every)")
@@ -121,6 +123,11 @@ func main() {
 	}
 	cfg.FleetHosts = *hosts
 	cfg.FleetKillAt = sim.Time(killAt.Nanoseconds())
+	if *rdcaWindow < 0 {
+		fmt.Fprintf(os.Stderr, "ceio-bench: -rdca-window must be >= 0, got %d\n", *rdcaWindow)
+		os.Exit(2)
+	}
+	cfg.RDCAWindow = *rdcaWindow
 	if *faultsPath != "" {
 		f, err := os.Open(*faultsPath)
 		if err != nil {

@@ -11,7 +11,7 @@
 //	ceio-sim -kv 2 -dfs 2 -tenants kv=1,bulk=4 -sample-every 1ms \
 //	    -metrics-out m.prom -series-out occupancy.csv -timeline-out t.json
 //
-// Architectures: Baseline, HostCC, ShRing, CEIO. A JSON scenario file
+// Architectures: Baseline, HostCC, ShRing, CEIO, RDCA. A JSON scenario file
 // (see examples/scenarios/) describes flows with start/stop times
 // declaratively and can emit machine-readable results. A fault plan
 // (-faults) arms deterministic chaos injection; the run prints the
@@ -49,7 +49,7 @@ import (
 const timelineRing = 1 << 20
 
 func main() {
-	arch := flag.String("arch", "CEIO", "I/O architecture: Baseline | HostCC | ShRing | CEIO")
+	arch := flag.String("arch", "CEIO", "I/O architecture: Baseline | HostCC | ShRing | CEIO | RDCA")
 	kv := flag.Int("kv", 4, "number of eRPC key-value flows (CPU-involved)")
 	dfs := flag.Int("dfs", 0, "number of LineFS file-transfer flows (CPU-bypass)")
 	echo := flag.Int("echo", 0, "number of echo flows (CPU-involved)")
@@ -94,7 +94,7 @@ func main() {
 	}
 
 	switch *arch {
-	case "Baseline", "HostCC", "ShRing", "CEIO":
+	case "Baseline", "HostCC", "ShRing", "CEIO", "RDCA":
 	default:
 		fmt.Fprintf(os.Stderr, "ceio-sim: unknown architecture %q\n", *arch)
 		os.Exit(2)

@@ -15,6 +15,9 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"ceio"
+	"ceio/internal/experiments"
 )
 
 // goPackageDirs returns every directory under root containing non-test
@@ -97,6 +100,78 @@ func TestPackageDocs(t *testing.T) {
 			if !paperHook.MatchString(doc) {
 				t.Errorf("%s: package doc states no paper-side counterpart (want a § reference or paper/CEIO mention per DESIGN.md)", dir)
 			}
+		}
+	}
+}
+
+// TestEveryExperimentDocumented asserts EXPERIMENTS.md carries a
+// backticked section tag for every experiment the bench can run by
+// name, so `ceio-bench <name>` output is never undocumented. "all" is
+// the meta-runner over the rest and needs no section of its own.
+func TestEveryExperimentDocumented(t *testing.T) {
+	docBytes, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+	for _, name := range experiments.Names() {
+		if name == "all" {
+			continue
+		}
+		if !strings.Contains(doc, "(`"+name+"`") {
+			t.Errorf("experiment %q has no EXPERIMENTS.md section (want a \"(`%s`\" tag in a heading)", name, name)
+		}
+	}
+}
+
+// TestRDCASeriesCatalogued asserts every rdca.* series an RDCA-mode run
+// registers is catalogued in OBSERVABILITY.md. TestEverySeriesDocumented
+// already covers all registries; this narrower check pins the RDCA
+// datapath's own telemetry surface and fails loudly if its registration
+// path stops firing (the broad test would silently shrink instead).
+func TestRDCASeriesCatalogued(t *testing.T) {
+	docBytes, err := os.ReadFile("OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+	sim, err := ceio.NewSimulatorE(ceio.DefaultConfig(), ceio.ArchRDCA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rdcaSeries []string
+	for _, m := range sim.Metrics().Metrics() {
+		if strings.HasPrefix(m.Name, "rdca.") {
+			rdcaSeries = append(rdcaSeries, m.Name)
+		}
+	}
+	if len(rdcaSeries) < 10 {
+		t.Fatalf("only %d rdca.* series registered; RDCA telemetry wiring regressed", len(rdcaSeries))
+	}
+	for _, n := range rdcaSeries {
+		if !strings.Contains(doc, "`"+n+"`") {
+			t.Errorf("rdca series %q is not catalogued in OBSERVABILITY.md", n)
+		}
+	}
+}
+
+// TestEveryPackageInArchitectureMap asserts ARCHITECTURE.md names every
+// internal package and every command, so the subsystem map cannot drift
+// behind the tree. Example directories are covered collectively by the
+// entry-points section and individually by README.md.
+func TestEveryPackageInArchitectureMap(t *testing.T) {
+	docBytes, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+	for _, dir := range goPackageDirs(t, ".") {
+		dir = strings.TrimPrefix(dir, "./")
+		if !strings.HasPrefix(dir, "internal/") && !strings.HasPrefix(dir, "cmd/") {
+			continue
+		}
+		if !strings.Contains(doc, "`"+dir+"`") {
+			t.Errorf("package %s is not named in ARCHITECTURE.md", dir)
 		}
 	}
 }

@@ -339,6 +339,36 @@ func (c *LLC) InsertIOSized(part int, id BufID, size, payload int64) (evicted []
 	return evicted
 }
 
+// ImminentIn counts resident buffers in partition part whose eviction
+// distance is within thresholdBytes and that satisfy pred. A buffer's
+// eviction distance is the bytes of DDIO inserts into the partition that
+// would push it out: the partition's free capacity (inserts that fit
+// evict nothing) plus the resident size of every line closer to the LRU
+// tail. The walk starts at the tail (the next victim) and is bounded by
+// thresholdBytes of accumulated distance, not the partition population,
+// so a small threshold keeps the probe O(threshold/bufsize) — and a
+// partition with more than thresholdBytes free reports 0 without
+// touching the list at all. RDCA's window controller (internal/rdca)
+// polls this as its eviction-imminence signal — shrink the in-flight
+// window before the oldest rx buffers age out — with pred selecting its
+// own tagged rx BufIDs so dataplane state lines sharing the partition
+// are not counted.
+func (c *LLC) ImminentIn(part int, thresholdBytes int64, pred func(BufID) bool) int {
+	if thresholdBytes <= 0 {
+		return 0
+	}
+	p := &c.parts[part]
+	dist := p.capacity - p.occupancy
+	count := 0
+	for n := p.tail; n != nil && dist < thresholdBytes; n = n.prev {
+		if pred == nil || pred(n.id) {
+			count++
+		}
+		dist += n.size
+	}
+	return count
+}
+
 // PayloadOf returns the payload bytes recorded for a resident buffer,
 // 0 when id is not resident.
 func (c *LLC) PayloadOf(id BufID) int64 {

@@ -169,6 +169,7 @@ func All(cfg Config) []Table {
 		one(Cores),
 		one(Pipelines),
 		one(Fleet),
+		RDCA,
 	})
 }
 
@@ -205,6 +206,8 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 		return []Table{Pipelines(cfg)}, true
 	case "fleet":
 		return []Table{Fleet(cfg)}, true
+	case "rdca":
+		return RDCA(cfg), true
 	case "all":
 		return All(cfg), true
 	}
@@ -213,5 +216,5 @@ func ByName(name string, cfg Config) ([]Table, bool) {
 
 // Names lists the experiment identifiers ByName accepts.
 func Names() []string {
-	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "cores", "pipelines", "fleet", "all"}
+	return []string{"fig4", "fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "limits", "ablation", "burst", "tenants", "cores", "pipelines", "fleet", "rdca", "all"}
 }

@@ -51,7 +51,7 @@ func renderSuite(t *testing.T, cfg Config, names []string) string {
 // because every run owns its engine and results land in index-ordered
 // slots.
 func TestParallelOutputByteIdentical(t *testing.T) {
-	names := []string{"fig9", "fig10", "burst", "table4", "tenants", "cores", "pipelines", "fleet"}
+	names := []string{"fig9", "fig10", "burst", "table4", "tenants", "cores", "pipelines", "fleet", "rdca"}
 
 	serial := renderSuite(t, microCfg(), names) // nil pool: fully serial
 

@@ -78,6 +78,11 @@ type Config struct {
 	// -pipeline flag). Names must pass dataplane.ValidateChain.
 	Pipeline []string
 
+	// RDCAWindow, when positive, restricts the rdca experiment's
+	// fixed-window sweep to a single window width in I/O buffers (the
+	// bench -rdca-window flag). Zero keeps the built-in sweep.
+	RDCAWindow int
+
 	// SampleEvery, when positive, attaches a telemetry sampler to the
 	// tenants experiment's measurement cells and appends per-scheme
 	// timeline tables (occupancy, ways, miss ratio over simulated time).

@@ -134,6 +134,14 @@ type Machine struct {
 	// (workload logic, ordering assertions in tests).
 	OnDeliver func(f *Flow, p *pkt.Packet)
 
+	// OnIOEvict, if set, observes every I/O buffer the LLC evicts to DRAM
+	// (DDIO insert overflow or tenant way reassignment; dataplane state
+	// lines are excluded). RDCA's window controller registers here to
+	// learn that in-flight rx buffers were pushed out before consumption
+	// — the strongest shrink signal it has. Nil on every other datapath,
+	// so their eviction path is untouched.
+	OnIOEvict func(id cache.BufID)
+
 	// Tracer, if set, records per-packet datapath events.
 	Tracer *trace.Tracer
 }
@@ -717,6 +725,9 @@ func (m *Machine) writebackEvicted(evicted []cache.Evicted) {
 				m.Pipes.StateEvicted(e.ID)
 			}
 			continue
+		}
+		if m.OnIOEvict != nil {
+			m.OnIOEvict(e.ID)
 		}
 		size := int(e.Payload)
 		if size == 0 {

@@ -59,7 +59,7 @@ type FlowSpec struct {
 
 // Spec is a complete scenario.
 type Spec struct {
-	// Arch is "Baseline", "HostCC", "ShRing" or "CEIO".
+	// Arch is "Baseline", "HostCC", "ShRing", "CEIO" or "RDCA".
 	Arch string `json:"arch"`
 	// Seed selects the deterministic RNG stream (default 1).
 	Seed int64 `json:"seed,omitempty"`
@@ -114,7 +114,7 @@ func Load(r io.Reader) (*Spec, error) {
 // Validate checks the specification for structural errors.
 func (s *Spec) Validate() error {
 	switch s.Arch {
-	case "Baseline", "HostCC", "ShRing", "CEIO":
+	case "Baseline", "HostCC", "ShRing", "CEIO", "RDCA":
 	default:
 		return fmt.Errorf("scenario: unknown arch %q", s.Arch)
 	}

@@ -11,6 +11,7 @@ import (
 	"ceio/internal/baseline"
 	"ceio/internal/core"
 	"ceio/internal/iosys"
+	"ceio/internal/rdca"
 	"ceio/internal/sim"
 )
 
@@ -25,6 +26,10 @@ const (
 	MethodCEIO         Method = "CEIO"
 	MethodCEIONoOpt    Method = "CEIO w/o optimization" // Table 4 ablation
 	MethodCEIOSlowPath Method = "CEIO slow path"        // Fig. 11 forced slow
+	// MethodRDCA is the receiver-driven cache-residency contender
+	// (internal/rdca): bounded in-flight window plus aggressive buffer
+	// recycling instead of CEIO's credit-gated elastic buffering.
+	MethodRDCA Method = "RDCA"
 )
 
 // AllMethods is the standard comparison order of the figures.
@@ -50,6 +55,8 @@ func NewDatapath(m Method) iosys.Datapath {
 		o := core.DefaultOptions()
 		o.ForceSlowPath = true
 		return core.New(o)
+	case MethodRDCA:
+		return rdca.New(rdca.DefaultOptions())
 	default:
 		panic(fmt.Sprintf("workload: unknown method %q", m))
 	}

@@ -20,7 +20,7 @@ import (
 func allRegistries(t *testing.T) []*ceio.MetricsRegistry {
 	t.Helper()
 	var regs []*ceio.MetricsRegistry
-	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchHostCC, ceio.ArchShRing, ceio.ArchCEIO} {
+	for _, arch := range []ceio.Architecture{ceio.ArchBaseline, ceio.ArchHostCC, ceio.ArchShRing, ceio.ArchCEIO, ceio.ArchRDCA} {
 		cfg := ceio.DefaultConfig()
 		if arch == ceio.ArchCEIO {
 			specs, err := ceio.ParseTenantSpecs("kv=2,bulk=3")
