@@ -15,6 +15,7 @@ import (
 	"ceio/internal/fleet"
 	"ceio/internal/pkt"
 	"ceio/internal/ring"
+	"ceio/internal/runner"
 	"ceio/internal/sim"
 	"ceio/internal/workload"
 )
@@ -210,15 +211,54 @@ func BenchmarkFleetEventThroughput(b *testing.B) {
 		id++
 	}
 	f.RunFor(50 * sim.Microsecond) // warm up flows and ring occupancy
-	before := f.Eng.Processed
+	before := f.EventsProcessed()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.RunFor(100 * sim.Microsecond)
 	}
 	b.StopTimer()
-	events := f.Eng.Processed - before
+	events := f.EventsProcessed() - before
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/sec")
 }
+
+// benchFleet64Sharded steps a 64-host rack (3 flows per host, all
+// control traffic over the ToR fabric) with its host shards fanned
+// across a pool of the given width. The Serial/Parallel8 pair is the
+// BENCH_fleet.json row that tracks the sharded-execution speedup; on a
+// single-CPU runner the pair mostly measures barrier overhead, so read
+// the delta together with the recorded host CPU count.
+func benchFleet64Sharded(b *testing.B, workers int) {
+	b.ReportAllocs()
+	pool := runner.NewPool(workers)
+	defer pool.Close()
+	cfg := fleet.DefaultConfig(64, workload.MethodCEIO)
+	cfg.Pool = pool
+	f, err := fleet.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := 1
+	for h := 0; h < 64; h++ {
+		f.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+		f.AddFlow(workload.ERPCKV(id, 144, workload.DPDK))
+		id++
+		f.AddFlow(workload.LineFS(id, 1024, 1024))
+		id++
+	}
+	f.RunFor(50 * sim.Microsecond)
+	before := f.EventsProcessed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RunFor(100 * sim.Microsecond)
+	}
+	b.StopTimer()
+	events := f.EventsProcessed() - before
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds()/1e6, "Mevents/sec")
+}
+
+func BenchmarkFleet64ShardedSerial(b *testing.B)    { benchFleet64Sharded(b, 1) }
+func BenchmarkFleet64ShardedParallel8(b *testing.B) { benchFleet64Sharded(b, 8) }
 
 // --- Micro benchmarks of the core data structures ------------------------
 

@@ -500,3 +500,89 @@ func TestChaosTenants(t *testing.T) {
 		t.Fatalf("fault plan never fired: %+v", ij.Stats)
 	}
 }
+
+// Chaos over the ToR fabric: a 6-host sharded rack where host 0 crashes
+// outright, host 1's switch port flaps (blackholing a healthy host), a
+// mid-run capacity cut halves every port's line rate, and an antagonist
+// bulk tenant hammers each host's LLC partition throughout. The balancer
+// must fail over both hosts — one from a real crash, one from pure
+// fabric loss — re-steer within the drain deadline (bounded TTR), take
+// both back afterwards, and close with zero invariant violations:
+// placement, credit conservation, tenant waymasks, and the fabric's own
+// byte ledger all audited.
+func TestChaosFabric(t *testing.T) {
+	fc := ceio.DefaultFleetConfig(6, ceio.ArchCEIO)
+	fc.Machine.Seed = 23
+	fc.Machine.Tenancy = &ceio.TenancyConfig{
+		Mode: ceio.TenantDynamic,
+		Specs: []ceio.TenantSpec{
+			{ID: "kv", Ways: 2},
+			{ID: "bulk", Ways: 3},
+		},
+	}
+	fc.ProbePeriod = 20 * ceio.Microsecond
+	fc.DrainDeadline = 2500 * ceio.Microsecond
+	fc.MigrationRTT = 2 * ceio.Microsecond
+	storm := ceio.FaultPlan{
+		Seed:         2020,
+		WireDropRate: 0.01,
+	}
+	crash := storm
+	crash.HostCrash = ceio.OneShotFault(2*ceio.Millisecond, 1*ceio.Millisecond)
+	flap := storm
+	flap.PortFlap = ceio.OneShotFault(2500*ceio.Microsecond, 1*ceio.Millisecond)
+	flap.PortFlapPort = 1
+	cut := storm
+	cut.FabricCut = ceio.OneShotFault(5*ceio.Millisecond, 500*ceio.Microsecond)
+	cut.FabricCutFactor = 0.5
+	fc.Plans = []ceio.FaultPlan{crash, flap, cut, storm, storm, storm}
+	f, err := ceio.NewFleetE(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 18; id++ {
+		if id%3 == 0 {
+			// The antagonist: bulk transfers thrashing the shared LLC.
+			fl := ceio.FileTransferFlow(id, 1024, 256)
+			fl.Tenant = "bulk"
+			f.AddFlow(fl)
+		} else {
+			fl := ceio.KVFlow(id, 512)
+			fl.Tenant = "kv"
+			f.AddFlow(fl)
+		}
+	}
+	audit := f.AttachAuditors(50 * ceio.Microsecond)
+	f.RunFor(8 * ceio.Millisecond)
+
+	if f.Stats.Crashes != 1 {
+		t.Fatalf("crashes=%d, want 1 (only host 0 ever died)", f.Stats.Crashes)
+	}
+	if f.Stats.Deaths < 2 {
+		t.Fatalf("deaths=%d, want >=2 (crashed host 0 and flap-darkened host 1)", f.Stats.Deaths)
+	}
+	if f.Stats.Migrations == 0 {
+		t.Fatal("no victim flow migrated to a survivor")
+	}
+	if f.Stats.Revivals < 2 {
+		t.Fatalf("revivals=%d, want >=2 (both hosts back)", f.Stats.Revivals)
+	}
+	st := f.SW.Stats()
+	if st.PortDownDrops == 0 {
+		t.Fatal("port flap never ate a frame at the switch")
+	}
+	if ttr := f.TimeToRecoverMax(); ceio.Duration(ttr) > fc.DrainDeadline {
+		t.Fatalf("TTR max %dns blew the %v drain deadline", ttr, fc.DrainDeadline)
+	}
+	for id := 1; id <= 18; id++ {
+		if h := f.HostOf(id); h < 0 {
+			t.Fatalf("flow %d unplaced at end of run", id)
+		}
+	}
+	f.Quiesce()
+	f.RunFor(2 * ceio.Millisecond)
+	audit.Final()
+	if err := audit.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

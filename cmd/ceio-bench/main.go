@@ -85,8 +85,10 @@ func main() {
 	parallel := flag.Int("parallel", runner.DefaultWorkers(), "worker pool size for independent runs (1 = serial)")
 	seeds := flag.Int("seeds", 1, "seed replicas per measurement: scalars report min/mean/max, latency histograms merge")
 	faultsPath := flag.String("faults", "", "JSON fault plan armed on every experiment machine: measure the tables under deterministic chaos")
-	hosts := flag.Int("hosts", 0, "restrict the fleet experiment to one rack size instead of the 4/8/16 sweep")
+	hosts := flag.Int("hosts", 0, "restrict the fleet experiment to one rack size instead of the 4-64 sweep")
 	killAt := flag.Duration("kill-at", 0, "override the fleet experiment's host-0 crash time (simulated, absolute; 0 = a quarter into the window)")
+	fabricGbps := flag.Float64("fabric-gbps", 0, "override the fleet experiment's ToR per-port line rate in Gbps (0 = 100)")
+	fabricBuf := flag.Int("fabric-buf", 0, "override the fleet experiment's shared ToR switch buffer in bytes (0 = 2 MiB)")
 	pipeline := flag.String("pipeline", "", "restrict the pipelines experiment to one module composition, e.g. \"nat64,acl-trie,firewall\"")
 	rdcaWindow := flag.Int("rdca-window", 0, "restrict the rdca experiment's fixed-window sweep to one width in I/O buffers (0 = built-in sweep)")
 	tenantLayout := flag.String("tenants", "", "override the tenants experiment's starting way allocation, e.g. \"kv=2,bulk=3\"")
@@ -123,6 +125,8 @@ func main() {
 	}
 	cfg.FleetHosts = *hosts
 	cfg.FleetKillAt = sim.Time(killAt.Nanoseconds())
+	cfg.FabricGbps = *fabricGbps
+	cfg.FabricBuf = *fabricBuf
 	if *rdcaWindow < 0 {
 		fmt.Fprintf(os.Stderr, "ceio-bench: -rdca-window must be >= 0, got %d\n", *rdcaWindow)
 		os.Exit(2)

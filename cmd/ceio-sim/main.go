@@ -37,6 +37,7 @@ import (
 
 	"ceio"
 	"ceio/internal/iosys"
+	"ceio/internal/runner"
 	"ceio/internal/scenario"
 	"ceio/internal/sim"
 	"ceio/internal/telemetry"
@@ -60,6 +61,9 @@ func main() {
 	cores := flag.Int("cores", 0, "CPU cores behind an RSS dispatch stage (0 = legacy one core per flow)")
 	hosts := flag.Int("hosts", 0, "run a rack of N hosts behind the failover balancer instead of one machine (0 = single machine; flow counts become per-host)")
 	killAt := flag.Duration("kill-at", 0, "with -hosts: crash host 0 at this simulated time for a quarter of -dur (0 = no kill)")
+	parallel := flag.Int("parallel", 1, "with -hosts: worker pool width for stepping host shards (1 = serial; output is byte-identical at any width)")
+	fabricGbps := flag.Float64("fabric-gbps", 0, "with -hosts: ToR per-port line rate in Gbps (0 = 100)")
+	fabricBuf := flag.Int("fabric-buf", 0, "with -hosts: shared ToR switch buffer in bytes (0 = 2 MiB)")
 	traceN := flag.Int("trace", 0, "dump the last N per-packet datapath events")
 	config := flag.String("config", "", "run a JSON scenario file instead of flag-built flows")
 	out := flag.String("out", "text", "output format for -config runs: text | json")
@@ -108,7 +112,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ceio-sim: -hosts composes with -kill-at, not -faults or -tenants")
 			os.Exit(2)
 		}
-		runFleet(*hosts, *arch, *kv, *dfs, *echo, *pkt, *dur, *warm, *killAt, *seed, *cores, &exp)
+		runFleet(*hosts, *arch, *kv, *dfs, *echo, *pkt, *dur, *warm, *killAt, *seed, *cores, *parallel, *fabricGbps, *fabricBuf, &exp)
 		return
 	}
 	cfg := ceio.DefaultConfig()
@@ -212,15 +216,27 @@ func main() {
 	exp.export(sim.Metrics(), sampler, sim.Machine().Tracer)
 }
 
-// runFleet drives the rack mode: N hosts on one shared engine behind the
-// failover balancer, the flag-built flow mix replicated per host of
-// capacity, and — when -kill-at is set — a one-shot host-crash episode on
-// host 0 lasting a quarter of -dur. The run prints the rack report and
-// the combined per-host + fleet invariant-auditor verdict.
-func runFleet(hosts int, arch string, kv, dfs, echo, pktSize int, dur, warm, killAt time.Duration, seed int64, cores int, exp *exporter) {
+// runFleet drives the rack mode: N hosts behind the failover balancer,
+// each stepping its own engine shard (fanned across -parallel pool
+// workers in lockstep epochs), all control traffic crossing the modelled
+// ToR switch, the flag-built flow mix replicated per host of capacity,
+// and — when -kill-at is set — a one-shot host-crash episode on host 0
+// lasting a quarter of -dur. The run prints the rack report and the
+// combined per-host + fleet invariant-auditor verdict; output is
+// byte-identical at any -parallel width.
+func runFleet(hosts int, arch string, kv, dfs, echo, pktSize int, dur, warm, killAt time.Duration, seed int64, cores, parallel int, fabricGbps float64, fabricBuf int, exp *exporter) {
 	fc := ceio.DefaultFleetConfig(hosts, ceio.Architecture(arch))
 	fc.Machine.Seed = seed
 	fc.Machine.Cores = cores
+	pool := runner.NewPool(parallel)
+	defer pool.Close()
+	fc.Pool = pool
+	if fabricGbps > 0 {
+		fc.Fabric.GbpsPerPort = fabricGbps
+	}
+	if fabricBuf > 0 {
+		fc.Fabric.BufBytes = fabricBuf
+	}
 	if killAt > 0 {
 		fc.Plans = []ceio.FaultPlan{{
 			HostCrash: ceio.OneShotFault(ceio.Duration(killAt.Nanoseconds()), ceio.Duration(dur.Nanoseconds()/4)),

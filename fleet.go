@@ -1,8 +1,10 @@
 package ceio
 
 import (
+	"ceio/internal/fabric"
 	"ceio/internal/fleet"
 	"ceio/internal/invariants"
+	"ceio/internal/runner"
 	"ceio/internal/workload"
 )
 
@@ -50,3 +52,32 @@ func NewFleet(cfg FleetConfig) *Fleet {
 
 // NewFleetE is NewFleet with invalid configurations reported as errors.
 func NewFleetE(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// FabricConfig describes the rack's top-of-rack switch: per-port line
+// rate, shared tail-drop buffer, and port-to-port latency (which is
+// also the sharded fleet's lockstep-epoch quantum). Set it on
+// FleetConfig.Fabric; start from DefaultFabricConfig.
+type FabricConfig = fabric.Config
+
+// FabricSwitch is the ToR switch model itself (Fleet.SW); read its
+// Stats for the delivered/dropped/queued ledger.
+type FabricSwitch = fabric.Switch
+
+// FabricStats is the switch-wide traffic ledger: injected, delivered,
+// and dropped frames and bytes, with tail drops and dark-port drops
+// split out.
+type FabricStats = fabric.Stats
+
+// DefaultFabricConfig returns the 100 Gbps / 2 MiB-buffer / 1 µs ToR a
+// rack of the given size uses by default (one port per host plus the
+// balancer's uplink).
+func DefaultFabricConfig(hosts int) FabricConfig { return fabric.DefaultConfig(hosts + 1) }
+
+// WorkerPool fans a sharded fleet's per-host engines across OS threads;
+// set one on FleetConfig.Pool. A nil pool steps every shard serially on
+// the caller — results are byte-identical either way.
+type WorkerPool = runner.Pool
+
+// NewWorkerPool starts a pool of the given width (<= 1 returns the
+// serial nil pool). Close it when the fleet run is done.
+func NewWorkerPool(workers int) *WorkerPool { return runner.NewPool(workers) }

@@ -10,25 +10,34 @@ import (
 	"ceio/internal/workload"
 )
 
-// Fleet sweeps rack size across 4/8/16 hosts with a mid-window host
-// kill: every host runs the full machine model on one shared engine,
-// flows are spread by the balancer's rendezvous hash (2 eRPC KV + 1
-// LineFS flow per host of capacity), and a one-shot host_crash episode
-// takes host 0 down for a quarter of the measurement window. The
-// balancer detects the missed heartbeats, drains the victim's flows
-// through the credit-replaying migration handshake, re-steers them to
-// survivors, and rebalances after recovery — while per-host and fleet
-// invariant auditors sweep throughout. The CEIO columns show the paper's
-// cache-miss advantage (§6.2) surviving rack-scale churn: migration
-// moves flows, never credits, so the credit bound holds on every
-// survivor even while it absorbs a dead host's load.
+// Fleet sweeps rack size across 4/8/16/32/64 hosts with a mid-window
+// host kill: every host steps the full machine model on its own engine
+// shard, all balancer→host control traffic traverses the explicit ToR
+// switch model (internal/fabric), flows are spread by the balancer's
+// rendezvous hash (2 eRPC KV + 1 LineFS flow per host of capacity), and
+// a one-shot host_crash episode takes host 0 down for a quarter of the
+// measurement window. The balancer detects the missed heartbeats over
+// the fabric, drains the victim's flows through the credit-replaying
+// migration handshake, re-steers them to survivors, and rebalances
+// after recovery — while per-host and fleet invariant auditors (flow
+// placement, credit conservation, fabric byte conservation) sweep
+// throughout. The CEIO columns show the paper's cache-miss advantage
+// (§6.2) surviving rack-scale churn: migration moves flows, never
+// credits, so the credit bound holds on every survivor even while it
+// absorbs a dead host's load.
+//
+// Unlike every other experiment, fleet cells run serially and the
+// worker pool parallelises WITHIN each rack (host shards stepped in
+// lockstep epochs). Fanning whole racks into the pool while each rack
+// also fans its shards would have every worker blocked submitting
+// nested jobs — so the pool is handed to the fleet, not to runCells.
 func Fleet(cfg Config) Table {
 	tb := Table{
-		Title:  "Fleet — rack-scale failover, host 0 killed mid-window, 3 flows per host",
-		Header: []string{"hosts", "Baseline miss", "Baseline p99 (µs)", "CEIO miss", "CEIO p99 (µs)", "migrated", "TTR max (µs)", "violations"},
-		Note:   "Host 0 crashes a quarter into the measurement window and recovers a quarter later; every victim flow is re-steered to a survivor within the drain deadline (TTR = crash-to-re-steered). CEIO's miss-rate advantage holds through the churn because migration replays unacknowledged credit state before teardown, conserving each survivor's C_total.",
+		Title:  "Fleet — rack-scale failover over the ToR fabric, host 0 killed mid-window, 3 flows per host",
+		Header: []string{"hosts", "Baseline miss", "Baseline p99 (µs)", "CEIO miss", "CEIO p99 (µs)", "migrated", "TTR max (µs)", "fabric MB", "violations"},
+		Note:   "Host 0 crashes a quarter into the measurement window and recovers a quarter later; every victim flow is re-steered to a survivor within the drain deadline (TTR = crash-to-re-steered). All probes and migration handshakes traverse the modelled ToR switch (fabric MB = control bytes it delivered for the CEIO rack); hosts are sharded across the worker pool in lockstep epochs, so the rendered rows are byte-identical at any -parallel width. CEIO's miss-rate advantage holds through the churn because migration replays unacknowledged credit state before teardown, conserving each survivor's C_total.",
 	}
-	counts := []int{4, 8, 16}
+	counts := []int{4, 8, 16, 32, 64}
 	if cfg.Quick {
 		counts = []int{4, 8}
 	}
@@ -41,13 +50,26 @@ func Fleet(cfg Config) Table {
 		lat       *stats.Histogram
 		migrated  float64
 		ttrMax    float64
+		fabricMB  float64
 		violation float64
 	}
-	// Cells are (host count, method) with method innermost.
-	res := runCells(cfg, len(counts)*len(methods), func(i int, c Config) cell {
+	// Cells are (host count, method) with method innermost. The pool is
+	// reserved for intra-rack sharding (see above), so cells themselves
+	// run serially.
+	pool := cfg.Pool
+	cellCfg := cfg
+	cellCfg.Pool = nil
+	res := runCells(cellCfg, len(counts)*len(methods), func(i int, c Config) cell {
 		hosts := counts[i/len(methods)]
 		fc := fleet.DefaultConfig(hosts, methods[i%len(methods)])
 		fc.Machine = c.Machine
+		fc.Pool = pool
+		if c.FabricGbps > 0 {
+			fc.Fabric.GbpsPerPort = c.FabricGbps
+		}
+		if c.FabricBuf > 0 {
+			fc.Fabric.BufBytes = c.FabricBuf
+		}
 		probe := c.Measure / 200
 		if probe < 5*sim.Microsecond {
 			probe = 5 * sim.Microsecond
@@ -77,11 +99,13 @@ func Fleet(cfg Config) Table {
 		f.ResetWindow()
 		f.RunFor(c.Measure)
 		audit.Final()
+		_, delivered, _, _ := f.FabricBytes()
 		return cell{
 			miss:      f.MissRate(),
 			lat:       f.MergedLatency(),
 			migrated:  float64(f.Stats.Migrations),
 			ttrMax:    float64(f.TimeToRecoverMax()),
+			fabricMB:  float64(delivered) / (1 << 20),
 			violation: float64(audit.Count()),
 		}
 	})
@@ -102,6 +126,7 @@ func Fleet(cfg Config) Table {
 			us(mergeSeeds(ceio, func(r cell) *stats.Histogram { return r.lat }).P99()),
 			statOf(ceio, func(r cell) float64 { return r.migrated }).count(),
 			statOf(ceio, func(r cell) float64 { return r.ttrMax }).us(),
+			statOf(ceio, func(r cell) float64 { return r.fabricMB }).f2(),
 			statOf(viol, func(v float64) float64 { return v }).count(),
 		})
 	}

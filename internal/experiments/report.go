@@ -73,6 +73,16 @@ type Config struct {
 	// the measurement window.
 	FleetKillAt sim.Time
 
+	// FabricGbps, when positive, overrides the fleet experiment's ToR
+	// per-port line rate (the -fabric-gbps flag). Zero keeps the
+	// 100 Gbps default.
+	FabricGbps float64
+
+	// FabricBuf, when positive, overrides the fleet experiment's shared
+	// ToR switch buffer in bytes (the -fabric-buf flag). Zero keeps the
+	// 2 MiB default.
+	FabricBuf int
+
 	// Pipeline, when non-empty, restricts the pipelines experiment to a
 	// single module composition instead of the built-in sweep (the bench
 	// -pipeline flag). Names must pass dataplane.ValidateChain.

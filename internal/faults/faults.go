@@ -178,6 +178,21 @@ type Plan struct {
 	// the simulation); internal/fleet schedules the crash/recover edges
 	// from this episode and notes them via NoteHostCrash/NoteHostRecover.
 	HostCrash Episode `json:"host_crash,omitempty"`
+
+	// PortFlap takes ToR switch port PortFlapPort administratively down
+	// for the episode window: arrivals to the port are dropped (probes
+	// go unanswered, migration handshakes time out and retry) and
+	// queued frames wait out the flap. Only racks consult it — the
+	// fabric is a rack-level resource — via internal/fleet's barrier
+	// loop; single-machine runs ignore it.
+	PortFlap     Episode `json:"port_flap,omitempty"`
+	PortFlapPort int     `json:"port_flap_port,omitempty"`
+	// FabricCut scales every fabric port's line rate by FabricCutFactor
+	// during the episode window (0.25 = quarter capacity), modelling an
+	// oversubscribed or degraded uplink: serialization stretches, the
+	// shared buffer fills, and tail drops follow.
+	FabricCut       Episode `json:"fabric_cut,omitempty"`
+	FabricCutFactor float64 `json:"fabric_cut_factor,omitempty"`
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -187,7 +202,9 @@ func (p Plan) Enabled() bool {
 		p.DMAStall.Enabled() ||
 		(p.NICMemPressure.Enabled() && p.NICMemPressureFraction > 0) ||
 		(p.CPUStall.Enabled() && p.CPUStallNs > 0) ||
-		p.HostCrash.Enabled()
+		p.HostCrash.Enabled() ||
+		p.PortFlap.Enabled() ||
+		(p.FabricCut.Enabled() && p.FabricCutFactor > 0)
 }
 
 // Validate reports structurally invalid plans.
@@ -202,6 +219,7 @@ func (p Plan) Validate() error {
 		{p.SteerFailRate, "steer_fail_rate"},
 		{p.ReadLossRate, "read_loss_rate"},
 		{p.NICMemPressureFraction, "nic_mem_pressure_fraction"},
+		{p.FabricCutFactor, "fabric_cut_factor"},
 	}
 	for _, r := range rates {
 		if r.v < 0 || r.v > 1 {
@@ -215,6 +233,9 @@ func (p Plan) Validate() error {
 	if p.SteerDelayNs < 0 || p.CPUStallNs < 0 {
 		return fmt.Errorf("faults: negative duration field")
 	}
+	if p.PortFlapPort < 0 {
+		return fmt.Errorf("faults: port_flap_port must be >= 0, got %d", p.PortFlapPort)
+	}
 	for _, ep := range []struct {
 		e    Episode
 		what string
@@ -223,6 +244,8 @@ func (p Plan) Validate() error {
 		{p.NICMemPressure, "nic_mem_pressure"},
 		{p.CPUStall, "cpu_stall"},
 		{p.HostCrash, "host_crash"},
+		{p.PortFlap, "port_flap"},
+		{p.FabricCut, "fabric_cut"},
 	} {
 		if err := ep.e.Validate(ep.what); err != nil {
 			return err
@@ -267,11 +290,13 @@ type Stats struct {
 	CPUStalls    uint64
 	HostCrashes  uint64
 	HostRecovers uint64
+	PortFlaps    uint64
+	FabricCuts   uint64
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("wire-drop=%d wire-corrupt=%d credit-loss=%d steer-fail=%d steer-delay=%d read-loss=%d dma-stall=%d cpu-stall=%d host-crash=%d host-recover=%d",
-		s.WireDrops, s.WireCorrupts, s.CreditLosses, s.SteerFails, s.SteerDelays, s.ReadLosses, s.DMAStalls, s.CPUStalls, s.HostCrashes, s.HostRecovers)
+	return fmt.Sprintf("wire-drop=%d wire-corrupt=%d credit-loss=%d steer-fail=%d steer-delay=%d read-loss=%d dma-stall=%d cpu-stall=%d host-crash=%d host-recover=%d port-flap=%d fabric-cut=%d",
+		s.WireDrops, s.WireCorrupts, s.CreditLosses, s.SteerFails, s.SteerDelays, s.ReadLosses, s.DMAStalls, s.CPUStalls, s.HostCrashes, s.HostRecovers, s.PortFlaps, s.FabricCuts)
 }
 
 // Injector samples the fault processes of one Plan. All hook methods are
@@ -424,5 +449,38 @@ func (ij *Injector) NoteHostCrash() {
 func (ij *Injector) NoteHostRecover() {
 	if ij != nil {
 		ij.Stats.HostRecovers++
+	}
+}
+
+// PortFlap returns the plan's port-flap episode and the flapped port
+// (zero Episode when the plan never flaps). The fleet's barrier loop
+// owns the down/up edges and notes them via NotePortFlap.
+func (ij *Injector) PortFlap() (Episode, int) {
+	if ij == nil {
+		return Episode{}, 0
+	}
+	return ij.plan.PortFlap, ij.plan.PortFlapPort
+}
+
+// FabricCut returns the plan's capacity-cut episode and factor (zero
+// Episode when the plan never cuts capacity).
+func (ij *Injector) FabricCut() (Episode, float64) {
+	if ij == nil {
+		return Episode{}, 0
+	}
+	return ij.plan.FabricCut, ij.plan.FabricCutFactor
+}
+
+// NotePortFlap counts one fired port-down edge.
+func (ij *Injector) NotePortFlap() {
+	if ij != nil {
+		ij.Stats.PortFlaps++
+	}
+}
+
+// NoteFabricCut counts one fired capacity-cut edge.
+func (ij *Injector) NoteFabricCut() {
+	if ij != nil {
+		ij.Stats.FabricCuts++
 	}
 }

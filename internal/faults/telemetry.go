@@ -28,4 +28,8 @@ func (ij *Injector) RegisterMetrics(reg *telemetry.Registry) {
 		"Host-crash edges fired from the plan's host_crash episode.", func() uint64 { return ij.Stats.HostCrashes })
 	reg.Counter("faults.injected.host_recovers_total",
 		"Host-recover edges fired at host_crash window ends.", func() uint64 { return ij.Stats.HostRecovers })
+	reg.Counter("faults.injected.port_flaps_total",
+		"ToR port-down edges fired from the plan's port_flap episode.", func() uint64 { return ij.Stats.PortFlaps })
+	reg.Counter("faults.injected.fabric_cuts_total",
+		"Fabric capacity-cut edges fired from the plan's fabric_cut episode.", func() uint64 { return ij.Stats.FabricCuts })
 }

@@ -1,16 +1,27 @@
 // Package fleet assembles a rack of simulated CEIO hosts behind a
-// deterministic L4 load balancer: N full iosys.Machine stacks share one
-// sim.Engine, flows are placed by rendezvous (highest-random-weight)
-// consistent hashing, and periodic health probes drive failover — when a
-// per-host fault plan's host_crash episode fires, the balancer detects
-// the missed heartbeats, drains the dead host's flows, and re-steers
-// them to survivors with a bounded-backoff migration handshake that
-// replays unacknowledged credit state through core.CEIO's
-// reconciliation path, then rebalances when the host returns. This is
-// the rack-scale "last mile" the CEIO paper (§7) and RDCA leave open:
+// deterministic L4 load balancer. Every host steps its own sim.Engine
+// (its shard), and all balancer↔host control traffic — health probes,
+// drain notices, credit-replaying re-steers — crosses an explicit ToR
+// switch model (internal/fabric) with per-port bandwidth, a shared
+// tail-drop buffer, and round-robin egress arbitration, replacing the
+// zero-cost hop of the single-engine rack. Shards advance in lockstep
+// epochs bounded by the fabric's propagation delay (the classic
+// conservative-lookahead argument: no frame can arrive sooner than one
+// propagation delay after it was sent), and every cross-shard frame is
+// sequenced through the switch at a barrier in canonical (time, source,
+// sequence) order — so a rack stepped by 8 workers is byte-identical to
+// the same rack stepped serially, and the host count can scale to 64
+// with each shard's cache-resident working set staying private to one
+// worker. Flows are placed by rendezvous (highest-random-weight)
+// consistent hashing; when a host_crash episode fires, the balancer
+// detects the missed heartbeats, drains the dead host's flows through a
+// loss-tolerant two-phase handshake (drain, then establish — each leg
+// idempotent, timed out, and retried with bounded backoff), re-steers
+// them to survivors, and rebalances when the host returns. This is the
+// rack-scale "last mile" the CEIO paper (§7) and RDCA leave open:
 // per-host cache-aware admission is only production-credible if the
-// NIC-CPU path stays stable when a host dies mid-window, not just when
-// packets are lost.
+// NIC-CPU path stays stable when a host dies mid-window — or when the
+// rack fabric itself flaps a port or loses capacity.
 package fleet
 
 import (
@@ -19,9 +30,11 @@ import (
 	"sort"
 
 	"ceio/internal/core"
+	"ceio/internal/fabric"
 	"ceio/internal/faults"
 	"ceio/internal/invariants"
 	"ceio/internal/iosys"
+	"ceio/internal/runner"
 	"ceio/internal/sim"
 	"ceio/internal/stats"
 	"ceio/internal/telemetry"
@@ -49,8 +62,9 @@ type Config struct {
 	// DrainDeadline bounds how long a dead host's flow may remain
 	// unplaced before the flow-lost-after-drain invariant flags it.
 	DrainDeadline sim.Time
-	// MigrationRTT is the one-way control-plane latency of the migration
-	// handshake (drain notice, credit replay, re-steer commit).
+	// MigrationRTT is the balancer's think time before the first
+	// handshake leg of a migration leaves (the wire latency itself now
+	// comes from the fabric).
 	MigrationRTT sim.Time
 	// RetryBase is the bounded-backoff base for failed migration
 	// attempts (attempt k waits RetryBase << k-1).
@@ -58,10 +72,27 @@ type Config struct {
 	// RetryLimit caps migration attempts per flow; past it the flow is
 	// stranded until a host revival rescues it.
 	RetryLimit int
+	// HandshakeTimeout is how long the balancer waits for a drain or
+	// establish acknowledgement before retrying — the loss recovery for
+	// control frames the fabric tail-dropped or a flapped port ate.
+	HandshakeTimeout sim.Time
+
+	// Fabric is the ToR switch model all balancer↔host traffic crosses.
+	// Ports must cover Hosts+1: host i attaches to port i and the
+	// balancer to port Hosts. Fabric.PropDelay doubles as the lockstep
+	// epoch length (the conservative lookahead).
+	Fabric fabric.Config
+
+	// Pool, when non-nil, steps host shards in parallel within each
+	// epoch. A nil pool steps them serially inline; the two are
+	// byte-identical. Call RunFor only from a goroutine that is not
+	// itself a worker of the same pool.
+	Pool *runner.Pool
 
 	// Plans are per-host fault plans (Plans[i] arms host i). A shorter
 	// slice leaves the remaining hosts fault-free; a zero-valued entry
-	// keeps Machine.FaultPlan for that host.
+	// keeps Machine.FaultPlan for that host. port_flap and fabric_cut
+	// episodes act on the shared fabric, applied at epoch barriers.
 	Plans []faults.Plan
 }
 
@@ -69,16 +100,18 @@ type Config struct {
 // and architecture over the paper-calibrated machine.
 func DefaultConfig(hosts int, method workload.Method) Config {
 	return Config{
-		Hosts:         hosts,
-		Machine:       iosys.DefaultConfig(),
-		Method:        method,
-		ProbePeriod:   100 * sim.Microsecond,
-		ProbeMiss:     3,
-		ProbeRise:     2,
-		DrainDeadline: sim.Millisecond,
-		MigrationRTT:  2 * sim.Microsecond,
-		RetryBase:     20 * sim.Microsecond,
-		RetryLimit:    6,
+		Hosts:            hosts,
+		Machine:          iosys.DefaultConfig(),
+		Method:           method,
+		ProbePeriod:      100 * sim.Microsecond,
+		ProbeMiss:        3,
+		ProbeRise:        2,
+		DrainDeadline:    sim.Millisecond,
+		MigrationRTT:     2 * sim.Microsecond,
+		RetryBase:        20 * sim.Microsecond,
+		RetryLimit:       6,
+		HandshakeTimeout: 25 * sim.Microsecond,
+		Fabric:           fabric.DefaultConfig(hosts + 1),
 	}
 }
 
@@ -96,6 +129,8 @@ func (c Config) Validate() error {
 		{c.MigrationRTT >= 0, "MigrationRTT >= 0"},
 		{c.RetryBase > 0, "RetryBase > 0"},
 		{c.RetryLimit >= 0, "RetryLimit >= 0"},
+		{c.HandshakeTimeout > 0, "HandshakeTimeout > 0"},
+		{c.Fabric.Ports >= c.Hosts+1, "Fabric.Ports >= Hosts+1"},
 		{len(c.Plans) <= c.Hosts, "len(Plans) <= Hosts"},
 	}
 	for _, ch := range checks {
@@ -103,40 +138,164 @@ func (c Config) Validate() error {
 			return fmt.Errorf("fleet: invalid config: %s", ch.what)
 		}
 	}
+	if err := c.Fabric.Validate(); err != nil {
+		return fmt.Errorf("fleet: invalid config: %w", err)
+	}
 	return nil
 }
 
-// Host is one rack member: a full simulated machine plus the balancer's
-// health bookkeeping about it.
+// Control-frame sizes on the fabric (bytes on the wire).
+const (
+	probeBytes        = 64  // heartbeat request and reply
+	drainReqBytes     = 128 // drain notice
+	drainAckBytes     = 256 // drain ack, carrying replayed credit state
+	establishReqBytes = 512 // re-steer commit with the full flow spec
+	establishAckBytes = 64
+)
+
+// msgKind discriminates the control frames on the fabric.
+type msgKind uint8
+
+const (
+	kProbeReq msgKind = iota
+	kProbeRep
+	kDrainReq
+	kDrainAck
+	kEstablishReq
+	kEstablishAck
+)
+
+// netMsg is one control frame's payload. seq carries the probe sequence
+// number on probes and the migration epoch on handshake legs; tries
+// stamps each handshake transmission so a stale (superseded) reply is
+// ignored without a second placement ever being committed.
+type netMsg struct {
+	kind  msgKind
+	flow  int
+	seq   uint64
+	tries uint64
+	ok    bool
+	spec  iosys.FlowSpec
+}
+
+// outMsg is one frame waiting in a shard's outbox for the next barrier.
+type outMsg struct {
+	at       sim.Time
+	src, dst int
+	bytes    int
+	m        netMsg
+}
+
+// Host is one rack member: a full simulated machine on its own shard
+// engine, plus the balancer's health bookkeeping about it. Fields split
+// by writer — shard-owned fields are touched only by events on h.eng,
+// balancer-owned fields only by the control shard, and mirrors only at
+// epoch barriers — so parallel shard stepping is race-free.
 type Host struct {
 	Index int
 	M     *iosys.Machine
 	Inj   *faults.Injector // nil when the host runs fault-free
 
-	// down is ground truth: the host_crash episode window is open.
-	down bool
-	// live is the balancer's view; it lags down by the probe detection
-	// time in both directions.
-	live      bool
-	missed    int
-	good      int
+	eng *sim.Engine
+	out []outMsg // shard outbox, drained at each barrier
+
+	// Shard-owned ground truth.
+	down      bool
 	crashedAt sim.Time
+	local     map[int]bool // flows installed on this machine
+
+	// Balancer-owned probe state.
+	live     bool
+	missed   int
+	good     int
+	probeSeq uint64
+	awaiting bool
+	sentOnce bool
+
+	// Barrier-written mirrors of shard ground truth, safe for the
+	// control shard to read mid-epoch.
+	downMirror      bool
+	crashedAtMirror sim.Time
+
+	// Fabric-degrade episode state applied so far (barrier-owned).
+	flapApplied bool
+	cutApplied  bool
 }
 
-// Down reports ground truth: the host's crash window is open.
+// Down reports ground truth: the host's crash window is open. Callers
+// outside the host's own shard should only read this between runs.
 func (h *Host) Down() bool { return h.down }
 
 // Live reports the balancer's view of the host.
 func (h *Host) Live() bool { return h.live }
 
+// send queues a frame from this host's fabric port.
+func (h *Host) send(dst, bytes int, m netMsg) {
+	h.out = append(h.out, outMsg{at: h.eng.Now(), src: h.Index, dst: dst, bytes: bytes, m: m})
+}
+
+// sortedLocal returns the IDs of flows installed on this machine, in
+// ascending order (shard-deterministic iteration).
+func (h *Host) sortedLocal() []int {
+	ids := make([]int, 0, len(h.local))
+	for id := range h.local {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// scheduleCrash arms the next crash edge of the host_crash episode on
+// the host's own shard.
+func (h *Host) scheduleCrash(ep faults.Episode) {
+	h.eng.At(ep.NextStart(h.eng.Now()), func() { h.crash(ep) })
+}
+
+// crash fires a host-crash edge: the host stops generating (its flows
+// pause; in-flight DMA drains, as a real NIC's posted writes do) and
+// probes to it go unanswered. The matching recover edge is scheduled at
+// the episode window's end.
+func (h *Host) crash(ep faults.Episode) {
+	if h.down {
+		return
+	}
+	h.down = true
+	h.crashedAt = h.eng.Now()
+	h.Inj.NoteHostCrash()
+	for _, id := range h.sortedLocal() {
+		h.M.PauseFlow(id)
+	}
+	h.eng.At(ep.EndAt(h.eng.Now()), func() { h.recover(ep) })
+}
+
+// recover fires the host-recover edge: every flow still installed
+// resumes generating (flows mid-migration are torn down anyway when the
+// drain notice lands), and the episode's next window is armed.
+func (h *Host) recover(ep faults.Episode) {
+	if !h.down {
+		return
+	}
+	h.down = false
+	h.Inj.NoteHostRecover()
+	for _, id := range h.sortedLocal() {
+		h.M.ResumeFlow(id)
+	}
+	h.scheduleCrash(ep)
+}
+
 // placement is the balancer's record of one flow.
 type placement struct {
 	spec      iosys.FlowSpec
 	host      int
+	victim    int // host the flow is being failed away from
+	target    int // fixed establish target once drained (-1 = unchosen)
 	migrating bool
 	rebalance bool // graceful move back to a revived home, not failover
+	drained   bool // the drain leg completed; the old copy is gone
+	drainSent bool // a drain notice may be in flight
 	deadline  sim.Time
 	attempts  int
+	tries     uint64 // transmission stamp; bumped to invalidate timeouts
 	epoch     uint64 // stale retry guard across re-declarations
 }
 
@@ -151,137 +310,342 @@ type Stats struct {
 	Stranded                 uint64 // retry budgets exhausted (rescuable)
 }
 
-// Fleet is the rack: hosts, balancer state, and fleet-level telemetry.
-// Construct with New; all methods must run on the shared engine's
-// goroutine (the simulation is single-threaded, like every machine).
+// Fleet is the rack: sharded hosts, the control shard (balancer), the
+// ToR switch, and fleet-level telemetry. Construct with New. RunFor
+// drives the lockstep epochs; all other methods must run between epochs
+// (setup, teardown, or reporting).
 type Fleet struct {
 	Cfg Config
+	// Eng is the control shard's engine: the balancer's probes, timers,
+	// and handshake logic run here.
 	Eng *sim.Engine
+	// SW is the rack's ToR switch.
+	SW *fabric.Switch
 
-	hosts     []*Host
+	hosts   []*Host
+	ctlOut  []outMsg
+	ctlPort int
+
 	placement map[int]*placement
 	order     []int // flow IDs in AddFlow order
 	expected  []int // per-host C_total captured at construction
+
+	now      sim.Time // last barrier
+	epochLen sim.Time // conservative lookahead = Fabric.PropDelay
+
+	audit       *invariants.FleetAuditor
+	auditPeriod sim.Time
+	auditNext   sim.Time
 
 	// Stats counts balancer events; read-only for observers.
 	Stats Stats
 	// TTR records crash-to-re-steered time per failover-migrated flow.
 	TTR stats.Histogram
 
-	// Reg is the fleet-level telemetry registry (fleet.* series); every
-	// host keeps its own machine registry at HostMachine(i).Reg.
+	// Reg is the fleet-level telemetry registry (fleet.* and fabric.*
+	// series); every host keeps its own machine registry at
+	// HostMachine(i).Reg.
 	Reg *telemetry.Registry
 }
 
-// New builds the rack on one shared engine and starts the balancer's
-// probe ticker. Hosts are constructed in index order, so construction
-// order — and therefore every event seed — is deterministic.
+// hostSeed spreads the configured seed across shards so no two hosts
+// share an RNG stream (a fixed odd stride keeps it deterministic).
+func hostSeed(base int64, i int) int64 { return base + int64(i)*1_000_003 }
+
+// New builds the rack — one engine per host, the control engine, and
+// the ToR switch — and starts the balancer's probe ticker. Hosts are
+// constructed in index order, so construction order, and therefore
+// every event seed, is deterministic.
 func New(cfg Config) (*Fleet, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	sw, err := fabric.New(cfg.Fabric)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building fabric: %w", err)
+	}
 	f := &Fleet{
 		Cfg:       cfg,
-		Eng:       sim.NewEngine(cfg.Machine.Seed),
+		Eng:       sim.NewEngine(hostSeed(cfg.Machine.Seed, cfg.Hosts)),
+		SW:        sw,
+		ctlPort:   cfg.Hosts,
 		placement: make(map[int]*placement),
 		expected:  make([]int, cfg.Hosts),
+		epochLen:  cfg.Fabric.PropDelay,
 	}
 	for i := 0; i < cfg.Hosts; i++ {
 		mcfg := cfg.Machine
+		mcfg.Seed = hostSeed(cfg.Machine.Seed, i)
 		if i < len(cfg.Plans) && (cfg.Plans[i] != faults.Plan{}) {
 			plan := cfg.Plans[i]
 			mcfg.FaultPlan = &plan
 		}
-		m, err := iosys.NewMachineOnEngine(f.Eng, mcfg, workload.NewDatapath(cfg.Method))
+		eng := sim.NewEngine(mcfg.Seed)
+		m, err := iosys.NewMachineOnEngine(eng, mcfg, workload.NewDatapath(cfg.Method))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: building host %d: %w", i, err)
 		}
-		h := &Host{Index: i, M: m, Inj: m.Faults, live: true}
+		h := &Host{Index: i, M: m, Inj: m.Faults, eng: eng, live: true, local: make(map[int]bool)}
 		if dp, ok := m.DP.(*core.CEIO); ok {
 			f.expected[i] = dp.Controller().Total()
 		}
 		f.hosts = append(f.hosts, h)
 		if ep := h.Inj.HostCrash(); ep.Enabled() {
-			f.scheduleCrash(h, ep)
+			h.scheduleCrash(ep)
 		}
 	}
 	f.registerMetrics()
-	f.Eng.Every(cfg.ProbePeriod, cfg.ProbePeriod, f.probeAll)
+	f.SW.RegisterMetrics(f.Reg)
+	f.Eng.Every(cfg.ProbePeriod, cfg.ProbePeriod, f.probeTick)
 	return f, nil
 }
 
-// scheduleCrash arms the next crash edge of h's host_crash episode.
-func (f *Fleet) scheduleCrash(h *Host, ep faults.Episode) {
-	at := ep.NextStart(f.Eng.Now())
-	f.Eng.At(at, func() { f.crashHost(h, ep) })
+// ctlSend queues a frame from the balancer's fabric port.
+func (f *Fleet) ctlSend(dst, bytes int, m netMsg) {
+	f.ctlOut = append(f.ctlOut, outMsg{at: f.Eng.Now(), src: f.ctlPort, dst: dst, bytes: bytes, m: m})
 }
 
-// crashHost fires a host-crash edge: the host stops generating (its
-// flows pause; in-flight DMA drains, as a real NIC's posted writes do)
-// and probes to it start missing. The matching recover edge is scheduled
-// at the episode window's end.
-func (f *Fleet) crashHost(h *Host, ep faults.Episode) {
-	if h.down {
-		return
+// --- lockstep epochs ------------------------------------------------------
+
+// RunFor advances the whole rack by d, in lockstep epochs of one fabric
+// propagation delay each.
+func (f *Fleet) RunFor(d sim.Time) {
+	end := f.now + d
+	for f.now < end {
+		t := f.now + f.epochLen
+		if t > end {
+			t = end
+		}
+		f.runEpoch(t)
 	}
-	h.down = true
-	h.crashedAt = f.Eng.Now()
-	h.Inj.NoteHostCrash()
-	f.Stats.Crashes++
-	for _, id := range f.flowsOn(h.Index) {
-		h.M.PauseFlow(id)
-	}
-	end := ep.EndAt(f.Eng.Now())
-	f.Eng.At(end, func() { f.recoverHost(h, ep) })
 }
 
-// recoverHost fires the host-recover edge and arms the episode's next
-// crash window, if any falls within a plausible run.
-func (f *Fleet) recoverHost(h *Host, ep faults.Episode) {
-	if !h.down {
-		return
-	}
-	h.down = false
-	h.Inj.NoteHostRecover()
-	f.Stats.Recovers++
-	// Flows still placed here (a blip shorter than the detection time, or
-	// arrivals steered in while the window was open) resume generating;
-	// flows already mid-migration stay with their handshake.
-	for _, id := range f.flowsOn(h.Index) {
-		h.M.ResumeFlow(id)
-	}
-	f.scheduleCrash(h, ep)
-}
+// Now returns the rack's simulated clock (the last epoch barrier).
+func (f *Fleet) Now() sim.Time { return f.now }
 
-// probeAll is the balancer's health sweep: one probe per host per tick,
-// in index order. A down host misses; ProbeMiss consecutive misses
-// declare it dead, ProbeRise consecutive answers revive it.
-func (f *Fleet) probeAll() {
+// EventsProcessed sums executed events across every shard engine.
+func (f *Fleet) EventsProcessed() uint64 {
+	n := f.Eng.Processed
 	for _, h := range f.hosts {
-		f.Stats.ProbesSent++
-		if h.down {
-			f.Stats.ProbesMissed++
-			h.good = 0
-			h.missed++
-			if h.live && h.missed >= f.Cfg.ProbeMiss {
-				f.declareDead(h)
+		n += h.M.Eng.Processed
+	}
+	return n
+}
+
+// runEpoch steps every shard to the barrier t — in parallel when a pool
+// is configured — then sequences the epoch's cross-shard frames through
+// the switch. Shards are independent within an epoch because no frame
+// can be delivered sooner than one propagation delay after injection,
+// which is exactly the epoch length.
+func (f *Fleet) runEpoch(t sim.Time) {
+	n := len(f.hosts) + 1
+	f.Cfg.Pool.Do(n, func(i int) {
+		if i < len(f.hosts) {
+			f.hosts[i].eng.RunUntil(t)
+		} else {
+			f.Eng.RunUntil(t)
+		}
+	})
+	f.now = t
+	f.barrier(t)
+}
+
+// barrier is the serial tail of an epoch: fold ground-truth stats into
+// balancer mirrors, apply fabric-degrade episode edges, sequence every
+// outbox frame through the switch in canonical (time, source, sequence)
+// order, advance the switch to the barrier, and schedule the drained
+// deliveries onto their destination shards. Every step is deterministic
+// and independent of how the shards were scheduled.
+func (f *Fleet) barrier(t sim.Time) {
+	var crashes, recovers uint64
+	for _, h := range f.hosts {
+		if h.Inj != nil {
+			crashes += h.Inj.Stats.HostCrashes
+			recovers += h.Inj.Stats.HostRecovers
+		}
+		h.downMirror = h.down
+		h.crashedAtMirror = h.crashedAt
+	}
+	f.Stats.Crashes, f.Stats.Recovers = crashes, recovers
+
+	f.applyFabricFaults(t)
+
+	var all []outMsg
+	for _, h := range f.hosts {
+		all = append(all, h.out...)
+		h.out = h.out[:0]
+	}
+	all = append(all, f.ctlOut...)
+	f.ctlOut = f.ctlOut[:0]
+	// Stable sort on (time, source): per-shard outboxes are already in
+	// time order, so stability preserves each source's FIFO.
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].src < all[j].src
+	})
+	for _, om := range all {
+		// A false return is a tail drop or a dark port: the frame is
+		// gone, and the handshake timeouts (or the next probe) recover.
+		f.SW.Inject(om.at, fabric.Msg{Src: om.src, Dst: om.dst, Bytes: om.bytes, Payload: om.m})
+	}
+	f.SW.AdvanceTo(t)
+	for _, d := range f.SW.Drain() {
+		m := d.Msg.Payload.(netMsg)
+		if d.Msg.Dst == f.ctlPort {
+			src := d.Msg.Src
+			f.Eng.At(d.At, func() { f.ctlRecv(src, m) })
+		} else {
+			h := f.hosts[d.Msg.Dst]
+			h.eng.At(d.At, func() { f.hostRecv(h, m) })
+		}
+	}
+
+	if f.audit != nil && t >= f.auditNext {
+		f.audit.SweepAt(t)
+		for f.auditNext <= t {
+			f.auditNext += f.auditPeriod
+		}
+	}
+}
+
+// applyFabricFaults applies port_flap and fabric_cut episode edges,
+// quantized to epoch barriers (the fabric is stepped only at barriers,
+// so finer resolution would be unobservable anyway).
+func (f *Fleet) applyFabricFaults(t sim.Time) {
+	for _, h := range f.hosts {
+		if h.Inj == nil {
+			continue
+		}
+		if ep, port := h.Inj.PortFlap(); ep.Enabled() && port < f.Cfg.Fabric.Ports {
+			if down := ep.ActiveAt(t); down != h.flapApplied {
+				h.flapApplied = down
+				f.SW.SetPortDown(port, down)
+				if down {
+					h.Inj.NotePortFlap()
+				}
 			}
-			continue
 		}
-		h.missed = 0
-		if h.live {
-			continue
+		if ep, factor := h.Inj.FabricCut(); ep.Enabled() && factor > 0 {
+			if cut := ep.ActiveAt(t); cut != h.cutApplied {
+				h.cutApplied = cut
+				if cut {
+					f.SW.SetCapacityFactor(factor)
+					h.Inj.NoteFabricCut()
+				} else {
+					f.SW.SetCapacityFactor(1)
+				}
+			}
 		}
-		h.good++
-		if h.good >= f.Cfg.ProbeRise {
-			f.declareLive(h)
+	}
+}
+
+// --- shard receive handlers ----------------------------------------------
+
+// hostRecv processes a control frame on the host's shard. Drain and
+// establish run on the management path, which outlives a crash window —
+// a dead host's NIC still answers the fenced teardown, as the paper's
+// failover story (and any real ToR-managed rack) requires — while data
+// probes go unanswered.
+func (f *Fleet) hostRecv(h *Host, m netMsg) {
+	switch m.kind {
+	case kProbeReq:
+		if h.down {
+			return // heartbeat blackout: this is what the balancer detects
 		}
+		h.send(f.ctlPort, probeBytes, netMsg{kind: kProbeRep, seq: m.seq})
+	case kDrainReq:
+		// Idempotent: a retried drain for an already-gone flow just acks.
+		if h.local[m.flow] {
+			// Credit replay before teardown: any release messages the dying
+			// host never delivered go through the reconciliation path, so
+			// the teardown returns exactly the credits Algorithm 1 granted
+			// and fleet credit conservation holds across the move.
+			if dp, ok := h.M.DP.(*core.CEIO); ok {
+				dp.ReconcileNow()
+			}
+			h.M.RemoveFlow(m.flow)
+			delete(h.local, m.flow)
+		}
+		h.send(f.ctlPort, drainAckBytes, netMsg{kind: kDrainAck, flow: m.flow, seq: m.seq, tries: m.tries})
+	case kEstablishReq:
+		// Idempotent: a duplicate establish (lost ack, retried) finds the
+		// flow already installed and re-acks success.
+		ok := true
+		if !h.local[m.flow] {
+			if _, err := h.M.AddFlowE(m.spec); err != nil {
+				ok = false
+			} else {
+				h.local[m.flow] = true
+				if h.down {
+					// Steered onto a host whose crash window is open:
+					// traffic blackholes until probes notice.
+					h.M.PauseFlow(m.flow)
+				}
+			}
+		}
+		h.send(f.ctlPort, establishAckBytes,
+			netMsg{kind: kEstablishAck, flow: m.flow, seq: m.seq, tries: m.tries, ok: ok})
+	}
+}
+
+// ctlRecv processes a frame arriving at the balancer's port.
+func (f *Fleet) ctlRecv(src int, m netMsg) {
+	switch m.kind {
+	case kProbeRep:
+		if src < len(f.hosts) {
+			h := f.hosts[src]
+			if m.seq == h.probeSeq {
+				h.awaiting = false
+			}
+		}
+	case kDrainAck:
+		f.onDrainAck(m)
+	case kEstablishAck:
+		f.onEstablishAck(src, m)
+	}
+}
+
+// --- balancer: probes and declarations -----------------------------------
+
+// probeTick is the balancer's health sweep: score last tick's probe
+// (unanswered = miss), then send this tick's, one per host in index
+// order. ProbeMiss consecutive misses declare a host dead, ProbeRise
+// consecutive answers revive it. Misses now cover real crashes AND
+// fabric loss — a flapped port blackholes heartbeats just like a dead
+// host, which is precisely how a real rack's failure detector behaves.
+func (f *Fleet) probeTick() {
+	for _, h := range f.hosts {
+		if h.sentOnce {
+			if h.awaiting {
+				f.Stats.ProbesMissed++
+				h.good = 0
+				h.missed++
+				if h.live && h.missed >= f.Cfg.ProbeMiss {
+					f.declareDead(h)
+				}
+			} else {
+				h.missed = 0
+				if !h.live {
+					h.good++
+					if h.good >= f.Cfg.ProbeRise {
+						f.declareLive(h)
+					}
+				}
+			}
+		}
+		h.probeSeq++
+		h.awaiting = true
+		h.sentOnce = true
+		f.Stats.ProbesSent++
+		f.ctlSend(h.Index, probeBytes, netMsg{kind: kProbeReq, seq: h.probeSeq})
 	}
 }
 
 // declareDead marks h dead in the balancer's view and starts draining
 // its flows: each gets a drain deadline and a migration handshake
-// scheduled one control RTT out.
+// scheduled one control think-time out.
 func (f *Fleet) declareDead(h *Host) {
 	h.live = false
 	f.Stats.Deaths++
@@ -290,6 +654,7 @@ func (f *Fleet) declareDead(h *Host) {
 		p := f.placement[id]
 		p.migrating = true
 		p.rebalance = false
+		p.victim = h.Index
 		p.deadline = now + f.Cfg.DrainDeadline
 		f.armMigration(id, p)
 	}
@@ -314,78 +679,152 @@ func (f *Fleet) declareLive(h *Host) {
 		case p.host != h.Index && f.pickHost(id) == h:
 			p.migrating = true
 			p.rebalance = true
+			p.victim = p.host
 			p.deadline = now + f.Cfg.DrainDeadline
 			f.armMigration(id, p)
 		}
 	}
 }
 
-// armMigration schedules the next migration attempt for id one control
-// RTT out, invalidating any older scheduled attempt via the epoch.
+// --- balancer: migration handshake ---------------------------------------
+
+// armMigration schedules the next migration attempt one control
+// think-time out, invalidating older scheduled attempts and in-flight
+// replies via the epoch. Drain progress (drained/target) survives a
+// re-arm: a flow already torn off its victim must not be drained twice,
+// and an establish already committed to a target must finish or fail
+// against that same target before any other host is tried.
 func (f *Fleet) armMigration(id int, p *placement) {
 	p.attempts = 0
 	p.epoch++
+	p.tries++
 	epoch := p.epoch
 	f.Eng.After(f.Cfg.MigrationRTT, func() { f.tryMigrate(id, epoch) })
 }
 
-// tryMigrate runs one bounded-backoff migration handshake attempt: pick
-// a survivor by rendezvous hash, replay the victim's unacknowledged
-// credit state through the reconciliation path, tear the flow down on
-// the victim, and re-establish it on the target. Failure (no live host)
-// retries with exponential backoff up to RetryLimit.
+// tryMigrate runs one step of the two-phase migration handshake: drain
+// the suspected holder, then establish on a rendezvous-chosen survivor.
+// Both legs are idempotent frames over the fabric with timeouts, so a
+// tail-dropped or flap-eaten leg retries with bounded backoff.
 func (f *Fleet) tryMigrate(id int, epoch uint64) {
 	p := f.placement[id]
 	if p == nil || !p.migrating || p.epoch != epoch {
 		return
 	}
-	target := f.pickHost(id)
-	victim := f.hosts[p.host]
-	if target == nil {
-		// No live host anywhere: back off and retry.
-		f.retryMigrate(id, p)
-		return
-	}
-	if target.Index == p.host {
-		// The rendezvous home is the victim itself, revived before the
-		// flow ever left: resume in place instead of moving.
-		victim.M.ResumeFlow(id)
-		p.migrating = false
-		if !p.rebalance && victim.crashedAt > 0 {
-			f.TTR.Record(int64(f.Eng.Now() - victim.crashedAt))
+	if !p.drained {
+		// Resume-in-place fast path: the home revived before any drain
+		// notice left, so the flow never moved; host-local recovery
+		// already resumed its generator.
+		if !p.drainSent {
+			if t := f.pickHost(id); t != nil && t.Index == p.host {
+				p.migrating = false
+				f.recordTTR(p)
+				return
+			}
 		}
+		f.sendDrain(id, p)
 		return
 	}
-	// Handshake step 1 — credit replay: any release messages the dying
-	// host never delivered are pushed through the PR 1 reconciliation
-	// path, so the teardown below returns exactly the credits Algorithm
-	// 1 granted and fleet credit conservation holds across the move.
-	if dp, ok := victim.M.DP.(*core.CEIO); ok {
-		dp.ReconcileNow()
+	if p.target < 0 {
+		t := f.pickHost(id)
+		if t == nil {
+			f.retryMigrate(id, p) // no live host anywhere: back off
+			return
+		}
+		p.target = t.Index
 	}
-	// Handshake step 2 — drain: tear the flow down on the victim.
-	// In-flight packets surrender their buffers through the normal
-	// teardown accounting (the invariants auditor keeps watching).
-	victim.M.RemoveFlow(id)
-	// Handshake step 3 — re-steer: establish the same spec on the target.
-	if _, err := target.M.AddFlowE(p.spec); err != nil {
+	f.sendEstablish(id, p)
+}
+
+// sendDrain transmits the drain leg to the flow's current holder and
+// arms its loss timeout.
+func (f *Fleet) sendDrain(id int, p *placement) {
+	p.drainSent = true
+	p.tries++
+	epoch, tries := p.epoch, p.tries
+	f.ctlSend(p.host, drainReqBytes, netMsg{kind: kDrainReq, flow: id, seq: epoch, tries: tries})
+	f.Eng.After(f.Cfg.HandshakeTimeout, func() {
+		if p.migrating && p.epoch == epoch && p.tries == tries {
+			f.retryMigrate(id, p)
+		}
+	})
+}
+
+// sendEstablish transmits the establish leg to the fixed target and
+// arms its loss timeout. If the target has since been declared dead the
+// timeout demotes it to suspected holder and restarts from drain —
+// the only way to re-pick without ever risking a double placement.
+func (f *Fleet) sendEstablish(id int, p *placement) {
+	p.tries++
+	epoch, tries := p.epoch, p.tries
+	f.ctlSend(p.target, establishReqBytes,
+		netMsg{kind: kEstablishReq, flow: id, seq: epoch, tries: tries, spec: p.spec})
+	f.Eng.After(f.Cfg.HandshakeTimeout, func() {
+		if !p.migrating || p.epoch != epoch || p.tries != tries {
+			return
+		}
+		if p.target >= 0 && !f.hosts[p.target].live {
+			p.host = p.target
+			p.target = -1
+			p.drained = false
+		}
 		f.retryMigrate(id, p)
+	})
+}
+
+// onDrainAck advances the handshake past the drain leg: the old copy is
+// gone, so choosing and committing to an establish target is now safe.
+func (f *Fleet) onDrainAck(m netMsg) {
+	p := f.placement[m.flow]
+	if p == nil || !p.migrating || p.epoch != m.seq || p.tries != m.tries {
 		return
 	}
-	if target.down {
-		// The balancer picked a host it believes is live but whose crash
-		// window just opened: traffic blackholes until probes notice.
-		target.M.PauseFlow(id)
+	p.drained = true
+	t := f.pickHost(m.flow)
+	if t == nil {
+		p.tries++ // invalidate the drain timeout; backoff owns the retry
+		f.retryMigrate(m.flow, p)
+		return
 	}
-	p.host = target.Index
+	p.target = t.Index
+	f.sendEstablish(m.flow, p)
+}
+
+// onEstablishAck completes (or fails) the establish leg.
+func (f *Fleet) onEstablishAck(src int, m netMsg) {
+	p := f.placement[m.flow]
+	if p == nil || !p.migrating || p.epoch != m.seq || p.tries != m.tries {
+		return
+	}
+	p.tries++ // invalidate the establish timeout
+	if !m.ok {
+		// The target rejected the spec and holds no copy: re-picking is
+		// safe.
+		p.target = -1
+		f.retryMigrate(m.flow, p)
+		return
+	}
+	p.host = src
+	p.target = -1
 	p.migrating = false
+	p.drained = false
+	p.drainSent = false
 	if p.rebalance {
 		f.Stats.Rebalances++
 		return
 	}
 	f.Stats.Migrations++
-	if victim.crashedAt > 0 {
-		f.TTR.Record(int64(f.Eng.Now() - victim.crashedAt))
+	f.recordTTR(p)
+}
+
+// recordTTR logs the crash-to-re-steered time of a completed failover
+// against the victim's mirrored crash timestamp.
+func (f *Fleet) recordTTR(p *placement) {
+	if p.rebalance || p.victim < 0 || p.victim >= len(f.hosts) {
+		return
+	}
+	if at := f.hosts[p.victim].crashedAtMirror; at > 0 {
+		f.TTR.Record(int64(f.Eng.Now() - at))
 	}
 }
 
@@ -403,6 +842,8 @@ func (f *Fleet) retryMigrate(id int, p *placement) {
 	epoch := p.epoch
 	f.Eng.After(backoff, func() { f.tryMigrate(id, epoch) })
 }
+
+// --- placement ------------------------------------------------------------
 
 // rendezvousWeight is the highest-random-weight score of (flow, host):
 // a splitmix64-style finalizer over the pair, so placement is a pure
@@ -434,8 +875,9 @@ func (f *Fleet) pickHost(flowID int) *Host {
 }
 
 // AddFlowE places a flow on its rendezvous-chosen host and records the
-// placement. Errors: duplicate flow ID in the rack, no live host, or a
-// spec the host rejects.
+// placement. Setup-time only (engines idle): initial placement installs
+// directly, without a fabric round trip. Errors: duplicate flow ID in
+// the rack, no live host, or a spec the host rejects.
 func (f *Fleet) AddFlowE(spec iosys.FlowSpec) error {
 	if _, dup := f.placement[spec.ID]; dup {
 		return fmt.Errorf("fleet: adding flow: duplicate flow id %d", spec.ID)
@@ -447,10 +889,11 @@ func (f *Fleet) AddFlowE(spec iosys.FlowSpec) error {
 	if _, err := h.M.AddFlowE(spec); err != nil {
 		return fmt.Errorf("fleet: adding flow on host %d: %w", h.Index, err)
 	}
+	h.local[spec.ID] = true
 	if h.down {
 		h.M.PauseFlow(spec.ID)
 	}
-	f.placement[spec.ID] = &placement{spec: spec, host: h.Index}
+	f.placement[spec.ID] = &placement{spec: spec, host: h.Index, victim: -1, target: -1}
 	f.order = append(f.order, spec.ID)
 	return nil
 }
@@ -494,7 +937,8 @@ func (f *Fleet) HostOf(id int) int {
 
 // Quiesce pauses every settled flow's generator rack-wide, so in-flight
 // work and reconciliation can drain before a final audit (the same
-// end-of-run discipline as single-machine chaos runs).
+// end-of-run discipline as single-machine chaos runs). Call between
+// runs only.
 func (f *Fleet) Quiesce() {
 	for _, id := range f.sortedFlowIDs() {
 		if p := f.placement[id]; !p.migrating {
@@ -502,12 +946,6 @@ func (f *Fleet) Quiesce() {
 		}
 	}
 }
-
-// RunFor advances the shared engine by d.
-func (f *Fleet) RunFor(d sim.Time) { f.Eng.RunUntil(f.Eng.Now() + d) }
-
-// Now returns the rack's simulated clock.
-func (f *Fleet) Now() sim.Time { return f.Eng.Now() }
 
 // ResetWindow restarts every host's measurement window and the fleet's
 // time-to-recover histogram (warm-up exclusion, as on a single machine).
@@ -518,7 +956,7 @@ func (f *Fleet) ResetWindow() {
 	f.TTR.Reset()
 }
 
-// FleetView implementation (the invariants.FleetAuditor's window).
+// --- FleetView implementation (the invariants auditor's window) ----------
 
 // HostCount returns the rack size.
 func (f *Fleet) HostCount() int { return len(f.hosts) }
@@ -551,6 +989,20 @@ func (f *Fleet) OverdueMigrations(now sim.Time) []int {
 // with (0 on creditless datapaths).
 func (f *Fleet) ExpectedHostCredits(i int) int { return f.expected[i] }
 
+// FabricBytes returns the switch's byte ledger for the fabric
+// conservation invariant: injected == delivered + dropped + queued.
+func (f *Fleet) FabricBytes() (injected, delivered, dropped, queued uint64) {
+	st := f.SW.Stats()
+	return st.InjectedBytes, st.DeliveredBytes, st.DroppedBytes, uint64(f.SW.QueuedBytes())
+}
+
+// FabricFrames returns the switch's frame ledger, same identity as
+// FabricBytes.
+func (f *Fleet) FabricFrames() (injected, delivered, dropped, queued uint64) {
+	st := f.SW.Stats()
+	return st.InjectedMsgs, st.DeliveredMsgs, st.DroppedMsgs, uint64(f.SW.QueuedMsgs())
+}
+
 // Audit bundles the per-host invariant auditors and the fleet-level
 // auditor of one rack.
 type Audit struct {
@@ -558,10 +1010,17 @@ type Audit struct {
 	Fleet *invariants.FleetAuditor
 }
 
-// AttachAuditors arms a per-host auditor on every machine plus the
-// fleet-level auditor on the shared engine, all sweeping every period.
+// AttachAuditors arms a per-host auditor on every machine (sweeping on
+// that host's own shard) plus the fleet-level auditor, which sweeps at
+// epoch barriers — the only points where cross-shard state is coherent.
 func (f *Fleet) AttachAuditors(period sim.Time) *Audit {
-	a := &Audit{Fleet: invariants.AttachFleet(f.Eng, f, period)}
+	if period <= 0 {
+		period = 100 * sim.Microsecond
+	}
+	f.audit = invariants.NewFleetAuditor(f, f.Now)
+	f.auditPeriod = period
+	f.auditNext = f.now + period
+	a := &Audit{Fleet: f.audit}
 	for _, h := range f.hosts {
 		a.Hosts = append(a.Hosts, invariants.Attach(h.M, period))
 	}

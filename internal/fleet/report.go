@@ -100,4 +100,9 @@ func (f *Fleet) WriteReport(w io.Writer) {
 		fmt.Fprintf(w, " ttr(max)=%.2fµs", float64(f.TTR.Max())/1e3)
 	}
 	fmt.Fprintln(w)
+	fi, fd, fx, fq := f.FabricFrames()
+	_, db, _, _ := f.FabricBytes()
+	sw := f.SW.Stats()
+	fmt.Fprintf(w, "  fabric: frames=%d delivered=%d dropped=%d (tail=%d port-down=%d) queued=%d bytes=%.2fMB\n",
+		fi, fd, fx, sw.TailDrops, sw.PortDownDrops, fq, float64(db)/(1<<20))
 }

@@ -41,13 +41,25 @@ type FleetView interface {
 	ExpectedHostCredits(i int) int
 }
 
-// FleetAuditor sweeps fleet-level invariants periodically on the shared
-// engine. Per-host invariants (credit ledger, elastic bytes, ring
-// protocol) remain the per-machine Auditor's job; this auditor owns only
-// the cross-host rules.
+// FabricView is the optional extension a fleet with a ToR switch model
+// exposes: both ledgers must satisfy injected == delivered + dropped +
+// queued at every sweep, or the fabric is minting or eating traffic.
+type FabricView interface {
+	// FabricBytes returns the switch's byte ledger.
+	FabricBytes() (injected, delivered, dropped, queued uint64)
+	// FabricFrames returns the switch's frame ledger.
+	FabricFrames() (injected, delivered, dropped, queued uint64)
+}
+
+// FleetAuditor sweeps fleet-level invariants — periodically on an
+// engine (AttachFleet) or explicitly at epoch barriers (NewFleetAuditor
+// plus SweepAt, the sharded fleet's mode, where barriers are the only
+// points cross-shard state is coherent). Per-host invariants (credit
+// ledger, elastic bytes, ring protocol) remain the per-machine Auditor's
+// job; this auditor owns only the cross-host rules.
 type FleetAuditor struct {
 	v   FleetView
-	eng *sim.Engine
+	now func() sim.Time
 
 	violations []Violation
 	total      uint64
@@ -57,28 +69,33 @@ type FleetAuditor struct {
 	Checks uint64
 }
 
+// NewFleetAuditor builds an unscheduled fleet auditor; the caller drives
+// it with SweepAt (and Final, which stamps violations via now).
+func NewFleetAuditor(v FleetView, now func() sim.Time) *FleetAuditor {
+	return &FleetAuditor{v: v, now: now}
+}
+
 // AttachFleet arms the fleet auditor on the rack's shared engine with the
 // given sweep period.
 func AttachFleet(eng *sim.Engine, v FleetView, period sim.Time) *FleetAuditor {
 	if period <= 0 {
 		period = 100 * sim.Microsecond
 	}
-	a := &FleetAuditor{v: v, eng: eng}
-	eng.Every(period, period, a.sweep)
+	a := NewFleetAuditor(v, eng.Now)
+	eng.Every(period, period, func() { a.SweepAt(eng.Now()) })
 	return a
 }
 
-func (a *FleetAuditor) record(rule, detail string) {
+func (a *FleetAuditor) record(now sim.Time, rule, detail string) {
 	a.total++
 	if len(a.violations) < maxRetained {
-		a.violations = append(a.violations, Violation{At: a.eng.Now(), Rule: rule, Detail: detail})
+		a.violations = append(a.violations, Violation{At: now, Rule: rule, Detail: detail})
 	}
 }
 
-// sweep runs every fleet-level check once.
-func (a *FleetAuditor) sweep() {
+// SweepAt runs every fleet-level check once, as of time now.
+func (a *FleetAuditor) SweepAt(now sim.Time) {
 	a.Checks++
-	now := a.eng.Now()
 
 	// No flow double-placed: each flow ID exists on at most one host's
 	// machine, and the balancer's placement map agrees with machine
@@ -94,7 +111,7 @@ func (a *FleetAuditor) sweep() {
 		sort.Ints(ids)
 		for _, id := range ids {
 			if prev, dup := owner[id]; dup {
-				a.record("flow-double-placed",
+				a.record(now, "flow-double-placed",
 					fmt.Sprintf("flow %d installed on hosts %d and %d", id, prev, h))
 				continue
 			}
@@ -108,7 +125,7 @@ func (a *FleetAuditor) sweep() {
 				if ok {
 					where = fmt.Sprintf("host %d", got)
 				}
-				a.record("flow-double-placed",
+				a.record(now, "flow-double-placed",
 					fmt.Sprintf("balancer places flow %d on host %d but it is installed on %s", id, h, where))
 			}
 		}
@@ -128,25 +145,39 @@ func (a *FleetAuditor) sweep() {
 			continue
 		}
 		if got := dp.Controller().Total(); got != want {
-			a.record("fleet-credit-conservation",
+			a.record(now, "fleet-credit-conservation",
 				fmt.Sprintf("host %d controller total %d, want %d", h, got, want))
 		}
 		if err := dp.AuditCredits(); err != nil {
-			a.record("fleet-credit-conservation", fmt.Sprintf("host %d: %v", h, err))
+			a.record(now, "fleet-credit-conservation", fmt.Sprintf("host %d: %v", h, err))
 		}
 	}
 
 	// No lost flow after the drain deadline: a crashed host's flows must
 	// all be re-steered to survivors before their deadline expires.
 	for _, id := range a.v.OverdueMigrations(now) {
-		a.record("flow-lost-after-drain",
+		a.record(now, "flow-lost-after-drain",
 			fmt.Sprintf("flow %d still unplaced past its drain deadline", id))
+	}
+
+	// Fabric conservation: the ToR switch neither mints nor eats traffic.
+	// Everything injected is delivered, dropped, or still queued — in
+	// bytes and in frames.
+	if fv, ok := a.v.(FabricView); ok {
+		if inj, del, drop, q := fv.FabricBytes(); inj != del+drop+q {
+			a.record(now, "fabric-byte-conservation",
+				fmt.Sprintf("injected=%d delivered=%d dropped=%d queued=%d", inj, del, drop, q))
+		}
+		if inj, del, drop, q := fv.FabricFrames(); inj != del+drop+q {
+			a.record(now, "fabric-frame-conservation",
+				fmt.Sprintf("injected=%d delivered=%d dropped=%d queued=%d", inj, del, drop, q))
+		}
 	}
 }
 
 // Final runs one last sweep; call after the simulation finishes, before
 // reading Violations.
-func (a *FleetAuditor) Final() { a.sweep() }
+func (a *FleetAuditor) Final() { a.SweepAt(a.now()) }
 
 // Count returns the total violations observed, including ones beyond the
 // retention cap.

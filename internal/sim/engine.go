@@ -7,13 +7,16 @@
 // The scheduler is a hierarchical timing wheel (Varghese & Lauck) rather
 // than a binary heap: four levels of 256 slots cover a 2^32 ns (~4.29 s)
 // horizon at exact-nanosecond resolution on level 0, with a far-future
-// overflow list beyond that. Event records are pool-allocated in slabs and
-// recycled, so steady-state At/After/Step performs zero heap allocations —
-// the per-push interface boxing and O(log n) sift of container/heap were
-// over half the allocation volume of a fleet run. Level-0 slots hold exact
-// timestamps, so dispatching a slot list is batch same-timestamp dispatch
-// in FIFO append order: firing order is identical to the old heap's
-// (at, seq) order, which keeps every experiment byte-identical.
+// overflow list beyond that. Event records live in a contiguous slab arena
+// owned by the engine and are linked by 32-bit indices rather than
+// pointers: slot lists, the free list, and the overflow list are all index
+// chains into the arena, so a wheel's worth of pending events occupies a
+// handful of cache-dense slabs instead of pointer-chased heap nodes, and
+// steady-state At/After/Step performs zero heap allocations. Level-0 slots
+// hold exact timestamps, so dispatching a slot list is batch
+// same-timestamp dispatch in FIFO append order: firing order is identical
+// to the old heap's (at, seq) order, which keeps every experiment
+// byte-identical.
 package sim
 
 import (
@@ -63,60 +66,82 @@ const (
 	slotMask    = slotCount - 1
 	numLevels   = 4
 	horizonBits = levelBits * numLevels
-	slabSize    = 256 // eventRecs per pool growth
+)
+
+// Arena geometry: records are pool-allocated in fixed slabs and addressed
+// by id = slabIndex<<slabShift | offset. Id 0 — slab 0, offset 0 — is the
+// reserved nil sentinel, so the zero value of slotList (and of the whole
+// slot array) means "empty" and index chains need no separate validity
+// bit. Slab 0 therefore hands out slabSize-1 records; every later slab
+// hands out slabSize.
+const (
+	slabShift = 8
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+	nilID     = int32(0)
 )
 
 const maxTime = Time(math.MaxInt64)
 
-// eventRec is one scheduled callback, pool-allocated and recycled. Either
+// eventRec is one scheduled callback, arena-allocated and recycled. Either
 // fn or afn is set: afn receives arg, which lets hot paths schedule a
 // long-lived func(any) plus a pointer instead of allocating a fresh
-// closure per event.
+// closure per event. next is the arena id of the successor in whichever
+// index chain (slot list, overflow, or free list) holds the record.
 type eventRec struct {
 	at   Time
 	fn   func()
 	afn  func(any)
 	arg  any
-	next *eventRec
+	next int32
 	// gen is bumped every time the record is freed; a handle whose gen
 	// no longer matches refers to an already-fired (or already-cancelled)
 	// event and cancels as a no-op.
 	gen uint64
 }
 
-// slotList is a FIFO singly-linked list of records. Append order is firing
-// order within a timestamp, which reproduces the heap's seq tie-break.
+// slotList is a FIFO chain of arena ids. Append order is firing order
+// within a timestamp, which reproduces the heap's seq tie-break. The zero
+// value (head == tail == nilID) is an empty list.
 type slotList struct {
-	head, tail *eventRec
+	head, tail int32
 }
 
-func (l *slotList) push(r *eventRec) {
-	r.next = nil
-	if l.tail == nil {
-		l.head = r
+// rec resolves an arena id to its record. Slabs are fixed-size arrays
+// behind stable pointers, so records never move and the two-level lookup
+// compiles to a couple of loads.
+func (e *Engine) rec(id int32) *eventRec {
+	return &e.arena[id>>slabShift][id&slabMask]
+}
+
+func (e *Engine) pushList(l *slotList, id int32) {
+	e.rec(id).next = nilID
+	if l.tail == nilID {
+		l.head = id
 	} else {
-		l.tail.next = r
+		e.rec(l.tail).next = id
 	}
-	l.tail = r
+	l.tail = id
 }
 
-func (l *slotList) pop() *eventRec {
-	r := l.head
-	if r != nil {
+func (e *Engine) popList(l *slotList) int32 {
+	id := l.head
+	if id != nilID {
+		r := e.rec(id)
 		l.head = r.next
-		if l.head == nil {
-			l.tail = nil
+		if l.head == nilID {
+			l.tail = nilID
 		}
-		r.next = nil
+		r.next = nilID
 	}
-	return r
+	return id
 }
 
 // handle identifies a scheduled record for cancellation. The gen snapshot
 // makes a stale handle (record already fired and recycled) cancel safely
 // as a no-op.
 type handle struct {
-	rec *eventRec
+	id  int32
 	gen uint64
 }
 
@@ -137,7 +162,11 @@ type Engine struct {
 	overflowLen int
 	pending     int
 
-	freeList *eventRec
+	// arena holds every event record the engine has ever allocated, in
+	// contiguous slabs with stable addresses; freeHead chains recycled
+	// ids through their next fields.
+	arena    []*[slabSize]eventRec
+	freeHead int32
 	poolFree int
 
 	rng     *rand.Rand
@@ -171,36 +200,53 @@ func (e *Engine) Pending() int { return e.pending }
 func (e *Engine) OverflowPending() int { return e.overflowLen }
 
 // PoolFree reports how many recycled event records are available before
-// the pool grows by another slab.
+// the arena grows by another slab.
 func (e *Engine) PoolFree() int { return e.poolFree }
 
-// --- record pool ---------------------------------------------------------
+// ArenaSlabs reports how many fixed-size record slabs the arena holds.
+// Slab count is a locality proxy: it grows only with the high-water mark
+// of simultaneously pending events, never with total events processed, so
+// a long steady-state run keeps its entire record working set in the same
+// few slabs.
+func (e *Engine) ArenaSlabs() int { return len(e.arena) }
 
-func (e *Engine) allocRec() *eventRec {
-	if e.freeList == nil {
-		slab := make([]eventRec, slabSize)
-		for i := range slab[:slabSize-1] {
-			slab[i].next = &slab[i+1]
+// --- record arena ---------------------------------------------------------
+
+// allocID pops a recycled record id, growing the arena by one contiguous
+// slab when the free list is empty.
+func (e *Engine) allocID() int32 {
+	if e.freeHead == nilID {
+		base := int32(len(e.arena)) << slabShift
+		slab := new([slabSize]eventRec)
+		e.arena = append(e.arena, slab)
+		start := int32(0)
+		if base == 0 {
+			start = 1 // id 0 is the reserved nil sentinel
 		}
-		e.freeList = &slab[0]
-		e.poolFree = slabSize
+		for i := start; i < slabSize-1; i++ {
+			slab[i].next = base + i + 1
+		}
+		e.freeHead = base + start
+		e.poolFree = int(slabSize - start)
 	}
-	r := e.freeList
-	e.freeList = r.next
+	id := e.freeHead
+	r := e.rec(id)
+	e.freeHead = r.next
 	e.poolFree--
-	r.next = nil
-	return r
+	r.next = nilID
+	return id
 }
 
-// freeRec returns a record to the pool, dropping its callback and capture
-// references immediately so the pool never retains dead closures.
-func (e *Engine) freeRec(r *eventRec) {
+// freeID returns a record to the free list, dropping its callback and
+// capture references immediately so the arena never retains dead closures.
+func (e *Engine) freeID(id int32) {
+	r := e.rec(id)
 	r.fn = nil
 	r.afn = nil
 	r.arg = nil
 	r.gen++
-	r.next = e.freeList
-	e.freeList = r
+	r.next = e.freeHead
+	e.freeHead = id
 	e.poolFree++
 }
 
@@ -244,56 +290,58 @@ func (e *Engine) levelFor(t Time) int {
 // insertRec files a record at the level/slot implied by its timestamp.
 // Slots are indexed by the absolute slot coordinate (t >> levelBits*L) &
 // slotMask, so an insert and a later cascade agree on placement.
-func (e *Engine) insertRec(r *eventRec) {
-	L := e.levelFor(r.at)
+func (e *Engine) insertRec(id int32) {
+	at := e.rec(id).at
+	L := e.levelFor(at)
 	if L == numLevels {
-		e.overflow.push(r)
+		e.pushList(&e.overflow, id)
 		e.overflowLen++
 		return
 	}
-	idx := int(uint64(r.at)>>(levelBits*L)) & slotMask
+	idx := int(uint64(at)>>(levelBits*L)) & slotMask
 	l := &e.slots[L][idx]
-	if l.head == nil {
+	if l.head == nilID {
 		e.setOcc(L, idx)
 	}
-	l.push(r)
+	e.pushList(l, id)
 }
 
 // cascade empties a level-L slot and redistributes its records relative to
 // the (just advanced) cursor. Records strictly descend levels, and
-// list-order reinsertion preserves FIFO within equal timestamps.
+// chain-order reinsertion preserves FIFO within equal timestamps.
 func (e *Engine) cascade(level, idx int) {
 	l := &e.slots[level][idx]
-	r := l.head
-	if r == nil {
+	id := l.head
+	if id == nilID {
 		return
 	}
 	e.Cascades++
-	l.head, l.tail = nil, nil
+	l.head, l.tail = nilID, nilID
 	e.clearOcc(level, idx)
-	for r != nil {
-		next := r.next
-		e.insertRec(r)
-		r = next
+	for id != nilID {
+		next := e.rec(id).next
+		e.insertRec(id)
+		id = next
 	}
 }
 
 // pullOverflow moves every overflow record whose timestamp landed inside
-// the cursor's (new) top-level block onto the wheel, preserving list
+// the cursor's (new) top-level block onto the wheel, preserving chain
 // order for the FIFO tie-break.
 func (e *Engine) pullOverflow() {
 	top := uint64(e.cursor) >> horizonBits
-	var prev *eventRec
+	prev := nilID
 	cur := e.overflow.head
-	for cur != nil {
-		next := cur.next
-		if uint64(cur.at)>>horizonBits == top {
-			if prev == nil {
+	for cur != nilID {
+		r := e.rec(cur)
+		next := r.next
+		if uint64(r.at)>>horizonBits == top {
+			if prev == nilID {
 				e.overflow.head = next
 			} else {
-				prev.next = next
+				e.rec(prev).next = next
 			}
-			if next == nil {
+			if next == nilID {
 				e.overflow.tail = prev
 			}
 			e.overflowLen--
@@ -305,14 +353,14 @@ func (e *Engine) pullOverflow() {
 	}
 }
 
-// popNext removes and returns the earliest pending record with at <=
+// popNext removes and returns the earliest pending record id with at <=
 // bound, advancing the cursor as far as needed (but never past a slot
 // that starts beyond bound, so a bounded RunUntil leaves the wheel
-// consistent for later inserts at any t >= now). Returns nil when no
+// consistent for later inserts at any t >= now). Returns nilID when no
 // pending event is due by bound.
-func (e *Engine) popNext(bound Time) *eventRec {
+func (e *Engine) popNext(bound Time) int32 {
 	if e.pending == 0 {
-		return nil
+		return nilID
 	}
 	for {
 		// Level 0 buckets exact timestamps: scan the current 256ns window
@@ -321,16 +369,16 @@ func (e *Engine) popNext(bound Time) *eventRec {
 		if idx, ok := e.scanOcc(0, int(uint64(e.cursor))&slotMask); ok {
 			t := Time(uint64(e.cursor)&^uint64(slotMask) | uint64(idx))
 			if t > bound {
-				return nil
+				return nilID
 			}
 			l := &e.slots[0][idx]
-			r := l.pop()
-			if l.head == nil {
+			id := e.popList(l)
+			if l.head == nilID {
 				e.clearOcc(0, idx)
 			}
 			e.cursor = t
 			e.pending--
-			return r
+			return id
 		}
 		// Nothing left in the level-0 window: enter the nearest occupied
 		// higher-level slot (strictly ahead — the current index of level
@@ -345,7 +393,7 @@ func (e *Engine) popNext(bound Time) *eventRec {
 			span := uint64(1) << (levelBits * (L + 1))
 			slotStart := Time(uint64(e.cursor)&^(span-1) | uint64(j)<<(levelBits*L))
 			if slotStart > bound {
-				return nil
+				return nilID
 			}
 			e.cursor = slotStart
 			e.cascade(L, j)
@@ -358,18 +406,18 @@ func (e *Engine) popNext(bound Time) *eventRec {
 		// Wheel empty ahead of the cursor: jump to the overflow minimum's
 		// block. Strict < keeps the earliest-scheduled record first among
 		// equal timestamps.
-		r := e.overflow.head
-		if r == nil {
-			return nil
+		id := e.overflow.head
+		if id == nilID {
+			return nilID
 		}
-		minT := r.at
-		for r = r.next; r != nil; r = r.next {
-			if r.at < minT {
-				minT = r.at
+		minT := e.rec(id).at
+		for id = e.rec(id).next; id != nilID; id = e.rec(id).next {
+			if at := e.rec(id).at; at < minT {
+				minT = at
 			}
 		}
 		if minT > bound {
-			return nil
+			return nilID
 		}
 		e.cursor = minT
 		e.pullOverflow()
@@ -398,30 +446,31 @@ func (e *Engine) advanceCursorTo(t Time) {
 	}
 }
 
-// unlink removes a live record from whichever list holds it. The
+// unlink removes a live record from whichever chain holds it. The
 // placement invariant makes the lookup O(slot length).
-func (e *Engine) unlink(r *eventRec) bool {
+func (e *Engine) unlink(id int32) bool {
 	l := &e.overflow
-	level := e.levelFor(r.at)
+	level := e.levelFor(e.rec(id).at)
 	idx := -1
 	if level < numLevels {
-		idx = int(uint64(r.at)>>(levelBits*level)) & slotMask
+		idx = int(uint64(e.rec(id).at)>>(levelBits*level)) & slotMask
 		l = &e.slots[level][idx]
 	}
-	var prev *eventRec
-	for cur := l.head; cur != nil; prev, cur = cur, cur.next {
-		if cur != r {
+	prev := nilID
+	for cur := l.head; cur != nilID; prev, cur = cur, e.rec(cur).next {
+		if cur != id {
 			continue
 		}
-		if prev == nil {
-			l.head = cur.next
+		next := e.rec(cur).next
+		if prev == nilID {
+			l.head = next
 		} else {
-			prev.next = cur.next
+			e.rec(prev).next = next
 		}
 		if l.tail == cur {
 			l.tail = prev
 		}
-		if idx >= 0 && l.head == nil {
+		if idx >= 0 && l.head == nilID {
 			e.clearOcc(level, idx)
 		} else if idx < 0 {
 			e.overflowLen--
@@ -437,27 +486,28 @@ func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) handle {
 	if t < e.now {
 		t = e.now
 	}
-	r := e.allocRec()
+	id := e.allocID()
+	r := e.rec(id)
 	r.at = t
 	r.fn = fn
 	r.afn = afn
 	r.arg = arg
-	e.insertRec(r)
+	e.insertRec(id)
 	e.pending++
-	return handle{rec: r, gen: r.gen}
+	return handle{id: id, gen: r.gen}
 }
 
 // cancel drops a scheduled record if (and only if) the handle still
 // refers to it; a handle whose event already fired is a no-op.
 func (e *Engine) cancel(h handle) bool {
-	if h.rec == nil || h.rec.gen != h.gen {
+	if h.id == nilID || e.rec(h.id).gen != h.gen {
 		return false
 	}
-	if !e.unlink(h.rec) {
+	if !e.unlink(h.id) {
 		return false
 	}
 	e.pending--
-	e.freeRec(h.rec)
+	e.freeID(h.id)
 	return true
 }
 
@@ -480,13 +530,14 @@ func (e *Engine) AfterArg(d Time, fn func(any), arg any) { e.schedule(e.now+d, n
 // --- dispatch ------------------------------------------------------------
 
 // dispatch fires a popped record. The record is freed before the callback
-// runs, so callbacks observe an engine whose pool already recycled their
+// runs, so callbacks observe an engine whose arena already recycled their
 // own record (and may reschedule with zero allocations).
-func (e *Engine) dispatch(r *eventRec) {
+func (e *Engine) dispatch(id int32) {
+	r := e.rec(id)
 	e.now = r.at
 	e.Processed++
 	fn, afn, arg := r.fn, r.afn, r.arg
-	e.freeRec(r)
+	e.freeID(id)
 	if fn != nil {
 		fn()
 	} else {
@@ -498,11 +549,11 @@ func (e *Engine) dispatch(r *eventRec) {
 // is not gated by Stop: a stopped engine resumes on the next Step, Run,
 // or RunUntil call.
 func (e *Engine) Step() bool {
-	r := e.popNext(maxTime)
-	if r == nil {
+	id := e.popNext(maxTime)
+	if id == nilID {
 		return false
 	}
-	e.dispatch(r)
+	e.dispatch(id)
 	return true
 }
 
@@ -515,11 +566,11 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run() {
 	e.stopped = false
 	for !e.stopped {
-		r := e.popNext(maxTime)
-		if r == nil {
+		id := e.popNext(maxTime)
+		if id == nilID {
 			break
 		}
-		e.dispatch(r)
+		e.dispatch(id)
 	}
 	e.stopped = false
 }
@@ -530,11 +581,11 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(end Time) {
 	e.stopped = false
 	for !e.stopped {
-		r := e.popNext(end)
-		if r == nil {
+		id := e.popNext(end)
+		if id == nilID {
 			break
 		}
-		e.dispatch(r)
+		e.dispatch(id)
 	}
 	if !e.stopped && e.now < end {
 		e.now = end

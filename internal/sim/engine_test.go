@@ -31,8 +31,9 @@ func TestEngineOrdering(t *testing.T) {
 func auditFreeList(t *testing.T, e *Engine) {
 	t.Helper()
 	n := 0
-	for r := e.freeList; r != nil; r = r.next {
+	for id := e.freeHead; id != nilID; id = e.rec(id).next {
 		n++
+		r := e.rec(id)
 		if r.fn != nil || r.afn != nil || r.arg != nil {
 			t.Fatalf("free-list record %d retains a closure (at=%v)", n, r.at)
 		}
